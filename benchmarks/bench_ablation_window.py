@@ -1,0 +1,73 @@
+"""Ablation — the bucket window w (§3.1).
+
+"Care should be taken in choosing w.  While assigning a large value to w
+may result in the loss of some potential overlapping pairs, assigning a
+low value will result in a small number of buckets for distribution among
+processors."  Since the forest only exposes nodes of depth ≥ ψ ≥ w, the
+sweep couples ψ = w to expose the loss side, and reports bucket counts
+and load imbalance (at a fixed slave count) for the distribution side —
+both halves of the paper's trade-off in one table.
+"""
+
+from __future__ import annotations
+
+from _common import dataset, dataset_gst, format_table
+from repro.align.scoring import AcceptanceCriteria
+from repro.core import ClusteringConfig, PaceClusterer
+from repro.metrics import assess_clustering
+from repro.parallel import assign_buckets
+
+PAPER_N = 30_000
+WINDOWS = [4, 6, 8, 10, 12]
+N_SLAVES = 15
+
+
+def test_window_ablation(benchmark, paper_table):
+    bench = dataset(PAPER_N)
+    gst = dataset_gst(PAPER_N)
+    truth = bench.true_clusters()
+
+    rows = []
+    quality = {}
+    buckets = {}
+    for w in WINDOWS:
+        cfg = ClusteringConfig(
+            w=w,
+            psi=w,  # couple ψ to w: the loss regime the paper warns about
+            batchsize=10,
+            acceptance=AcceptanceCriteria(min_score_ratio=0.8, min_overlap=30),
+            align_engine="kdiff",
+        )
+        result = PaceClusterer(cfg).cluster(bench.collection)
+        q = assess_clustering(result.clusters, truth, bench.n_ests)
+        ranges = gst.bucket_ranges(w)
+        asg = assign_buckets(ranges, N_SLAVES)
+        quality[w] = q
+        buckets[w] = len(ranges)
+        rows.append(
+            [
+                w,
+                len(ranges),
+                f"{asg.imbalance:.2f}",
+                result.counters.pairs_generated,
+                f"{q.oq:.2f}",
+                f"{q.un:.2f}",
+            ]
+        )
+    lines = format_table(
+        f"Ablation — window size w with ψ = w ({bench.n_ests} ESTs, "
+        f"{N_SLAVES} slaves)",
+        ["w", "buckets", "imbalance", "pairs generated", "OQ%", "UN%"],
+        rows,
+    )
+    paper_table("ablation_window", lines)
+
+    # Distribution side: more buckets (finer distribution) as w grows.
+    ws = sorted(buckets)
+    assert all(buckets[a] <= buckets[b] for a, b in zip(ws, ws[1:]))
+    # With ψ tied to w, small w admits noise pairs and large w can only
+    # lose witnesses: quality at the extremes should not beat the middle.
+    mid = WINDOWS[len(WINDOWS) // 2]
+    assert quality[WINDOWS[-1]].un >= quality[mid].un - 1.0
+
+    benchmark.pedantic(lambda: gst.bucket_ranges(8), rounds=1, iterations=1)

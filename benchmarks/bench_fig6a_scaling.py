@@ -1,0 +1,59 @@
+"""Figure 6(a) — run-time vs number of processors, four dataset sizes.
+
+The paper plots total run-time against p ∈ [8, 128] for n ∈ {10,000;
+20,000; 40,000; 81,414} and shows near-linear scaling that flattens
+slightly at high processor counts (fixed costs and master latency stop
+shrinking).  Reproduced on the simulated machine with the scaled dataset
+family; the assertions pin the qualitative shape: monotone decrease in p,
+larger datasets strictly slower, and healthy mid-range parallel
+efficiency.
+"""
+
+from __future__ import annotations
+
+from _common import bench_config, dataset, dataset_gst, format_table
+from repro.parallel import simulate_clustering
+
+SIZES = [10_000, 20_000, 40_000, 81_414]
+PROCESSORS = [4, 8, 16, 32, 64]
+
+
+def test_fig6a_runtime_vs_processors(benchmark, paper_table):
+    cfg = bench_config()
+    table: dict[int, dict[int, float]] = {}
+    for n in SIZES:
+        bench = dataset(n)
+        gst = dataset_gst(n)
+        table[n] = {}
+        for p in PROCESSORS:
+            rep = simulate_clustering(bench.collection, cfg, n_processors=p, gst=gst)
+            table[n][p] = rep.total_time
+
+    rows = []
+    for p in PROCESSORS:
+        rows.append([p] + [f"{table[n][p]:.4f}" for n in SIZES])
+    lines = format_table(
+        "Fig 6a — run-time vs processors (virtual s; scaled sizes "
+        + ", ".join(f"{n:,}→{dataset(n).n_ests}" for n in SIZES)
+        + ")",
+        ["p"] + [f"n={n:,}" for n in SIZES],
+        rows,
+    )
+    paper_table("fig6a_scaling", lines)
+
+    for n in SIZES:
+        times = [table[n][p] for p in PROCESSORS]
+        assert all(a > b for a, b in zip(times, times[1:])), f"non-monotone at n={n}"
+        # Mid-range efficiency: 4 -> 16 processors at least 2x faster.
+        assert times[0] / times[2] > 2.0, f"poor scaling at n={n}"
+    for p in PROCESSORS:
+        assert table[SIZES[0]][p] < table[SIZES[-1]][p], "size ordering violated"
+
+    small = dataset(SIZES[0])
+    benchmark.pedantic(
+        lambda: simulate_clustering(
+            small.collection, cfg, n_processors=8, gst=dataset_gst(SIZES[0])
+        ),
+        rounds=1,
+        iterations=1,
+    )

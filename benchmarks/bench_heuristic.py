@@ -1,0 +1,61 @@
+"""The §2 premise — seed length predicts overlap acceptance.
+
+"We use length of a maximal common substring of pairs as the metric for
+predicting strongly overlapping pairs, and generate pairs of ESTs in the
+decreasing order of this metric."  This bench measures the premise on a
+standard benchmark: acceptance rate (and mean score ratio) binned by the
+seed length the pair was generated at.  A rising curve is what makes
+best-first generation pay off (Fig. 7's curve separation) and justifies
+the ψ cutoff below which pairs are not worth producing at all.
+"""
+
+from __future__ import annotations
+
+from _common import bench_config, dataset, dataset_gst, format_table
+from repro.metrics.heuristic import seed_length_acceptance
+
+PAPER_N = 30_000
+
+
+def test_seed_length_predicts_acceptance(benchmark, paper_table):
+    bench = dataset(PAPER_N)
+    cfg = bench_config()
+    bins = seed_length_acceptance(
+        bench.collection, config=cfg, bin_width=15, gst=dataset_gst(PAPER_N)
+    )
+    rows = [
+        [
+            f"[{b.lo},{b.hi})",
+            b.n_pairs,
+            b.n_accepted,
+            f"{100 * b.acceptance_rate:.1f}%",
+            f"{b.mean_ratio:.3f}",
+        ]
+        for b in bins
+    ]
+    lines = format_table(
+        f"§2 heuristic — acceptance vs maximal-common-substring length "
+        f"({bench.n_ests} ESTs, unconditional alignment of all candidates)",
+        ["seed length", "pairs", "accepted", "acceptance", "mean ratio"],
+        rows,
+    )
+    paper_table("heuristic_seed_length", lines)
+
+    # The premise: long seeds accept (near-)always; the shortest bin is
+    # markedly worse than the longest.
+    assert len(bins) >= 3, "need a spread of seed lengths to validate"
+    assert bins[-1].acceptance_rate > 0.9
+    assert bins[0].acceptance_rate < bins[-1].acceptance_rate
+    # Mean score ratio rises with seed length across the extremes too.
+    assert bins[0].mean_ratio < bins[-1].mean_ratio
+
+    benchmark.pedantic(
+        lambda: seed_length_acceptance(
+            dataset(10_051).collection,
+            config=cfg,
+            gst=dataset_gst(10_051),
+            max_pairs=500,
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,60 @@
+"""Table 3 — time spent in each component vs processor count.
+
+Paper's Table 3 (20,000 ESTs):
+
+    p    Partitioning  GST construction  Sorting  Alignment  Total
+    8    3             180               5        42         230
+    ...
+    128  0.5           11                0.5      5          17
+
+i.e. every component scales ~1/p, GST construction dominates at this input
+size, and the totals shrink near-linearly.  Reproduced on the simulated
+machine (virtual seconds; the real algorithm runs underneath) with the
+scaled 20,000-EST stand-in.
+"""
+
+from __future__ import annotations
+
+from _common import bench_config, dataset, dataset_gst, format_table
+from repro.core.results import COMPONENT_ORDER
+from repro.parallel import simulate_clustering
+
+PROCESSORS = [8, 16, 32, 64, 128]
+PAPER_N = 20_000
+
+
+def test_table3_components(benchmark, paper_table):
+    bench = dataset(PAPER_N)
+    gst = dataset_gst(PAPER_N)
+    cfg = bench_config()
+
+    rows = []
+    totals = {}
+    for p in PROCESSORS:
+        rep = simulate_clustering(bench.collection, cfg, n_processors=p, gst=gst)
+        t = rep.result.timings
+        rows.append(
+            [p]
+            + [f"{t.get(name):.4f}" for name in COMPONENT_ORDER]
+            + [f"{rep.total_time:.4f}", f"{rep.master_busy_fraction * 100:.2f}%"]
+        )
+        totals[p] = rep.total_time
+
+    lines = format_table(
+        f"Table 3 — component breakdown, scaled {PAPER_N:,}-EST stand-in "
+        f"(virtual seconds on the simulated machine)",
+        ["p"] + COMPONENT_ORDER + ["total", "master busy"],
+        rows,
+    )
+    paper_table("table3_components", lines)
+
+    # Shape assertions from the paper's table.
+    assert totals[8] > totals[32] > totals[128], "no parallel scaling"
+    speedup = totals[8] / totals[128]
+    assert speedup > 4, f"8->128 processors sped up only {speedup:.1f}x"
+
+    benchmark.pedantic(
+        lambda: simulate_clustering(bench.collection, cfg, n_processors=8, gst=gst),
+        rounds=1,
+        iterations=1,
+    )

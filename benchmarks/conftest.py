@@ -1,0 +1,39 @@
+"""Benchmark-suite plumbing.
+
+Each bench regenerates one of the paper's tables/figures and registers the
+rendered table with the ``paper_table`` fixture; the tables are then
+printed in the terminal summary (so they survive pytest's output capture
+and land in ``bench_output.txt``) and written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import save_table
+
+_TABLES: list[tuple[str, list[str]]] = []
+
+
+@pytest.fixture(scope="session")
+def paper_table():
+    """Callable ``(name, lines)`` recording one regenerated table."""
+
+    def record(name: str, lines: list[str]) -> None:
+        _TABLES.append((name, lines))
+        save_table(name, lines)
+
+    return record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 72)
+    terminalreporter.write_line("REPRODUCED PAPER TABLES AND FIGURES")
+    terminalreporter.write_line("=" * 72)
+    for _name, lines in _TABLES:
+        terminalreporter.write_line("")
+        for line in lines:
+            terminalreporter.write_line(line)

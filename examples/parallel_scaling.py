@@ -1,0 +1,55 @@
+"""Parallel clustering: the simulated IBM SP and real processes.
+
+Run:  python examples/parallel_scaling.py
+
+Demonstrates the two parallel engines sharing one protocol implementation:
+
+1. the deterministic simulated multiprocessor sweeps processor counts and
+   reports virtual run-times and speedups (the engine behind the paper's
+   Fig. 6 / Table 3 reproductions);
+2. the multiprocessing backend runs the identical master-slave protocol
+   over real OS processes and must produce the identical partition.
+"""
+
+from repro import ClusteringConfig, PaceClusterer
+from repro.parallel import cluster_multiprocessing, simulate_clustering
+from repro.simulate import BenchmarkParams, make_benchmark
+from repro.suffix import SuffixArrayGst
+
+
+def main() -> None:
+    bench = make_benchmark(
+        BenchmarkParams.small(n_genes=20, mean_ests_per_gene=10), rng=5
+    )
+    config = ClusteringConfig.small_reads(batchsize=10)
+    print(f"dataset: {bench.n_ests} ESTs, {bench.collection.total_chars:,} bases")
+
+    sequential = PaceClusterer(config).cluster(bench.collection)
+    print(f"sequential: {sequential.summary()}\n")
+
+    # --- simulated machine sweep ------------------------------------------
+    gst = SuffixArrayGst.build(bench.collection)  # share the index
+    print(f"{'p':>4s} {'virtual time':>13s} {'speedup':>8s} {'messages':>9s} "
+          f"{'master busy':>12s} {'partition == sequential':>24s}")
+    base_time = None
+    for p in (2, 4, 8, 16, 32):
+        rep = simulate_clustering(bench.collection, config, n_processors=p, gst=gst)
+        if base_time is None:
+            base_time = rep.total_time
+        same = rep.result.clusters == sequential.clusters
+        print(
+            f"{p:4d} {rep.total_time:12.4f}s {base_time / rep.total_time:7.2f}x "
+            f"{rep.messages_exchanged:9d} {rep.master_busy_fraction:11.2%} "
+            f"{str(same):>24s}"
+        )
+
+    # --- real processes ----------------------------------------------------
+    print("\nmultiprocessing backend (1 master + 2 slave processes)...")
+    mp_result = cluster_multiprocessing(bench.collection, config, n_processors=3)
+    print(f"multiprocessing: {mp_result.summary()}")
+    print(f"partition identical to sequential: "
+          f"{mp_result.clusters == sequential.clusters}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Why EST pipelines trim poly-A tails before clustering.
+
+Run:  python examples/preprocessing_polya.py
+
+Mature mRNAs end in a poly-A tail; 3' reads inherit it (as a poly-T
+head after reverse complementation).  Tails are shared by *every*
+transcript, so to an overlap detector they look like strong evidence
+between unrelated genes: the pair generator floods with junk candidates
+and, at permissive thresholds, unrelated clusters merge.  This example
+measures the damage and shows the trimmer repairing it.
+"""
+
+from repro import ClusteringConfig, PaceClusterer
+from repro.metrics import assess_clustering
+from repro.sequence import EstCollection
+from repro.sequence.preprocess import preprocess_est
+from repro.simulate import BenchmarkParams, make_benchmark
+
+
+def main() -> None:
+    base = BenchmarkParams.small(n_genes=12, mean_ests_per_gene=9)
+    params = BenchmarkParams(
+        n_genes=base.n_genes,
+        mean_ests_per_gene=base.mean_ests_per_gene,
+        read_params=base.read_params,
+        n_exons_range=base.n_exons_range,
+        exon_len_range=base.exon_len_range,
+        polya_tail_length=60,  # every transcript polyadenylated
+    )
+    bench = make_benchmark(params, rng=31)
+    truth = bench.true_clusters()
+    config = ClusteringConfig.small_reads()
+
+    print(f"{bench.n_ests} ESTs from {len(bench.genes)} genes, "
+          f"40 bp poly-A tails on every transcript\n")
+
+    # --- clustering the raw reads ---------------------------------------
+    raw = PaceClusterer(config).cluster(bench.collection)
+    raw_q = assess_clustering(raw.clusters, truth, bench.n_ests)
+    print("raw reads:")
+    print(f"  {raw.summary()}")
+    print(f"  quality: {raw_q}")
+
+    # --- trimming first --------------------------------------------------
+    cleaned, dropped = [], 0
+    total_trimmed = 0
+    for i in range(bench.n_ests):
+        est, report = preprocess_est(bench.collection.est(i).copy())
+        total_trimmed += report.trimmed_start + report.trimmed_end
+        if est is None:
+            dropped += 1
+        else:
+            cleaned.append(est)
+    print(f"\npreprocessing: trimmed {total_trimmed} tail bases total, "
+          f"dropped {dropped} reads")
+
+    trimmed = PaceClusterer(config).cluster(EstCollection(cleaned))
+    trim_q = assess_clustering(trimmed.clusters, truth, bench.n_ests)
+    print("trimmed reads:")
+    print(f"  {trimmed.summary()}")
+    print(f"  quality: {trim_q}")
+
+    saved_pairs = raw.counters.pairs_generated - trimmed.counters.pairs_generated
+    saved_aligns = raw.counters.pairs_processed - trimmed.counters.pairs_processed
+    print(
+        f"\ntail trimming removed {saved_pairs} junk promising pairs and "
+        f"{saved_aligns} wasted alignments "
+        f"({100 * saved_aligns / raw.counters.pairs_processed:.0f}% of all "
+        f"alignment work); over-prediction {raw_q.ov:.2f}% -> {trim_q.ov:.2f}%"
+    )
+    print(
+        "(tail-only overlaps are short and mostly fail acceptance — the "
+        "min-overlap guard — but each one still costs an alignment, which "
+        "is exactly why real pipelines trim first)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Quickstart: cluster a synthetic EST set and score it against truth.
+
+Run:  python examples/quickstart.py
+
+This is the five-minute tour: generate a benchmark with known gene
+structure, cluster it with the PaCE pipeline, and compare the result to
+the ground truth with the paper's quality metrics (OQ/OV/UN/CC).
+"""
+
+from repro import ClusteringConfig, PaceClusterer
+from repro.metrics import assess_clustering
+from repro.simulate import BenchmarkParams, make_benchmark
+
+
+def main() -> None:
+    # 1. A synthetic benchmark: 15 genes, ~10 ESTs each, 2% sequencing
+    #    errors, short-read regime so this runs in a couple of seconds.
+    bench = make_benchmark(
+        BenchmarkParams.small(n_genes=15, mean_ests_per_gene=10), rng=2024
+    )
+    print(
+        f"dataset: {bench.n_ests} ESTs from {len(bench.genes)} genes, "
+        f"{bench.collection.total_chars:,} bases"
+    )
+
+    # 2. Cluster.  ClusteringConfig holds every knob of the paper: the
+    #    bucket window w, the promising-pair threshold psi, batch sizes,
+    #    scoring and acceptance thresholds.
+    config = ClusteringConfig.small_reads()
+    result = PaceClusterer(config).cluster(bench.collection)
+    print(result.summary())
+
+    # 3. Compare against the true clustering (one cluster per gene).
+    report = assess_clustering(result.clusters, bench.true_clusters(), bench.n_ests)
+    print(f"quality vs ground truth: {report}")
+
+    # 4. The pair-flow counters are the story of the algorithm: most
+    #    promising pairs are never aligned because earlier, better pairs
+    #    already merged their clusters (Fig. 7 of the paper).
+    c = result.counters
+    print(
+        f"work saved by ordering + cluster test: "
+        f"{c.pairs_generated} pairs generated, only {c.pairs_processed} "
+        f"aligned ({100 * c.pairs_processed / c.pairs_generated:.1f}%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro — a reproduction of "Space and Time Efficient Parallel Algorithms
+and Software for EST Clustering" (Kalyanaraman, Aluru & Kothari, ICPP 2002;
+the system later known as PaCE).
+
+Quickstart::
+
+    from repro import PaceClusterer, ClusteringConfig
+    from repro.simulate import BenchmarkParams, make_benchmark
+
+    bench = make_benchmark(BenchmarkParams.small(), rng=0)
+    result = PaceClusterer(ClusteringConfig.small_reads()).cluster(bench.collection)
+    print(result.summary())
+
+Subpackages: ``sequence`` (alphabet/FASTA/EST container), ``simulate``
+(synthetic benchmarks with ground truth), ``suffix`` (generalized suffix
+tree, two backends), ``pairs`` (on-demand promising-pair generation),
+``align`` (banded seed-extension alignment), ``cluster`` (union-find and
+the greedy loop), ``parallel`` (master-slave protocol on simulated or real
+processors), ``metrics`` (OQ/OV/UN/CC), ``baselines`` (comparators).
+"""
+
+from repro.core import (
+    ClusteringConfig,
+    ClusteringResult,
+    IncrementalClusterer,
+    PaceClusterer,
+    SplicingEvent,
+    detect_splicing_events,
+)
+from repro.sequence import EstCollection
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusteringConfig",
+    "ClusteringResult",
+    "IncrementalClusterer",
+    "PaceClusterer",
+    "SplicingEvent",
+    "detect_splicing_events",
+    "EstCollection",
+    "__version__",
+]

@@ -1,0 +1,194 @@
+"""Reference (unbanded) dynamic-programming aligners.
+
+Three roles:
+
+- :func:`extend_overlap_ref` — a plain-Python, cell-by-cell version of the
+  banded extension with an unbounded band; the oracle the vectorised
+  banded engine is property-tested against.
+- :func:`overlap_align` — full dovetail/containment alignment of two whole
+  strings with free end gaps and complete traceback.  This is the
+  "traditional" engine that aligns entire strings rather than extending a
+  seed; the seed-extension ablation and the CAP3-like baseline use it.
+- :func:`global_align_score` — classic Needleman–Wunsch (affine) global
+  score, used in tests as an independent cross-check of the recurrences.
+
+All three share one gap convention with the banded engine: a gap may open
+from any state (match or the other gap state) at ``gap_open`` and extends
+at ``gap_extend``; the first gap character costs ``gap_open``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.align.banded import NEG_INF, ExtensionResult
+from repro.align.overlaps import classify_pattern
+from repro.align.scoring import AlignmentResult, ScoringParams
+
+__all__ = ["extend_overlap_ref", "overlap_align", "global_align_score"]
+
+
+def extend_overlap_ref(x: np.ndarray, y: np.ndarray, params: ScoringParams) -> ExtensionResult:
+    """Unbanded reference for :func:`repro.align.banded.extend_overlap`."""
+    x = [int(v) for v in np.asarray(x)]
+    y = [int(v) for v in np.asarray(y)]
+    lx, ly = len(x), len(y)
+    if lx == 0 or ly == 0:
+        return ExtensionResult(0.0, 0, 0, 0)
+    match, mis = params.match, params.mismatch
+    go, ge = params.gap_open, params.gap_extend
+
+    m = [[NEG_INF] * (ly + 1) for _ in range(lx + 1)]
+    ix = [[NEG_INF] * (ly + 1) for _ in range(lx + 1)]
+    iy = [[NEG_INF] * (ly + 1) for _ in range(lx + 1)]
+    m[0][0] = 0.0
+    for j in range(1, ly + 1):
+        iy[0][j] = go + (j - 1) * ge
+    for i in range(1, lx + 1):
+        ix[i][0] = go + (i - 1) * ge
+        for j in range(1, ly + 1):
+            sub = match if x[i - 1] == y[j - 1] else mis
+            m[i][j] = max(m[i - 1][j - 1], ix[i - 1][j - 1], iy[i - 1][j - 1]) + sub
+            ix[i][j] = max(m[i - 1][j] + go, iy[i - 1][j] + go, ix[i - 1][j] + ge)
+            iy[i][j] = max(m[i][j - 1] + go, ix[i][j - 1] + go, iy[i][j - 1] + ge)
+
+    best, bi, bj = NEG_INF, 0, 0
+    for i in range(lx + 1):
+        v = max(m[i][ly], ix[i][ly], iy[i][ly])
+        if v > best:
+            best, bi, bj = v, i, ly
+    for j in range(ly + 1):
+        v = max(m[lx][j], ix[lx][j], iy[lx][j])
+        if v > best:
+            best, bi, bj = v, lx, j
+    return ExtensionResult(float(best), bi, bj, (lx + 1) * (ly + 1))
+
+
+def global_align_score(x: np.ndarray, y: np.ndarray, params: ScoringParams) -> float:
+    """Needleman–Wunsch global alignment score (affine gaps)."""
+    res = _overlap_dp(x, y, params, free_start=False, free_end=False)
+    return res[0]
+
+
+def overlap_align(
+    x: np.ndarray, y: np.ndarray, params: ScoringParams
+) -> AlignmentResult:
+    """Best dovetail/containment alignment of two whole strings.
+
+    Leading gaps on either string are free (the alignment may start at any
+    ``(i, 0)`` or ``(0, j)``), trailing gaps likewise; the reported spans
+    delimit the overlap region actually aligned.
+    """
+    score, (si, sj), (ei, ej), cells, ops = _overlap_dp(
+        x, y, params, free_start=True, free_end=True
+    )
+    lx, ly = len(x), len(y)
+    pattern = classify_pattern(si, ei, lx, sj, ej, ly)
+    return AlignmentResult(
+        score=score,
+        a_start=si,
+        a_end=ei,
+        b_start=sj,
+        b_end=ej,
+        pattern=pattern,
+        dp_cells=cells,
+        ops=ops,
+    )
+
+
+def _overlap_dp(x, y, params, *, free_start: bool, free_end: bool):
+    """Shared affine DP with full traceback (plain Python; reference grade)."""
+    x = [int(v) for v in np.asarray(x)]
+    y = [int(v) for v in np.asarray(y)]
+    lx, ly = len(x), len(y)
+    match, mis = params.match, params.mismatch
+    go, ge = params.gap_open, params.gap_extend
+
+    m = [[NEG_INF] * (ly + 1) for _ in range(lx + 1)]
+    ix = [[NEG_INF] * (ly + 1) for _ in range(lx + 1)]
+    iy = [[NEG_INF] * (ly + 1) for _ in range(lx + 1)]
+    # Backpointers per state: 0 from M, 1 from Ix, 2 from Iy, 3 start.
+    bm = [[3] * (ly + 1) for _ in range(lx + 1)]
+    bx = [[3] * (ly + 1) for _ in range(lx + 1)]
+    by = [[3] * (ly + 1) for _ in range(lx + 1)]
+
+    # Starts carry backpointer 3; traceback stops on reading it in state M.
+    m[0][0] = 0.0
+    for i in range(1, lx + 1):
+        if free_start:
+            m[i][0] = 0.0
+        else:
+            ix[i][0] = go + (i - 1) * ge
+            bx[i][0] = 1 if i > 1 else 0
+    for j in range(1, ly + 1):
+        if free_start:
+            m[0][j] = 0.0
+        else:
+            iy[0][j] = go + (j - 1) * ge
+            by[0][j] = 2 if j > 1 else 0
+
+    for i in range(1, lx + 1):
+        xi = x[i - 1]
+        for j in range(1, ly + 1):
+            sub = match if xi == y[j - 1] else mis
+            cands = (m[i - 1][j - 1], ix[i - 1][j - 1], iy[i - 1][j - 1])
+            k = max(range(3), key=lambda t: cands[t])
+            m[i][j] = cands[k] + sub
+            bm[i][j] = k
+            open_from = max(m[i - 1][j], iy[i - 1][j])
+            if m[i - 1][j] >= iy[i - 1][j]:
+                ox = 0
+            else:
+                ox = 2
+            if open_from + go >= ix[i - 1][j] + ge:
+                ix[i][j] = open_from + go
+                bx[i][j] = ox
+            else:
+                ix[i][j] = ix[i - 1][j] + ge
+                bx[i][j] = 1
+            open_from = max(m[i][j - 1], ix[i][j - 1])
+            oy = 0 if m[i][j - 1] >= ix[i][j - 1] else 1
+            if open_from + go >= iy[i][j - 1] + ge:
+                iy[i][j] = open_from + go
+                by[i][j] = oy
+            else:
+                iy[i][j] = iy[i][j - 1] + ge
+                by[i][j] = 2
+
+    # Pick the end.
+    if free_end:
+        best, bi, bj, bstate = NEG_INF, lx, ly, 0
+        for i in range(lx + 1):
+            for state, tab in ((0, m), (1, ix), (2, iy)):
+                if tab[i][ly] > best:
+                    best, bi, bj, bstate = tab[i][ly], i, ly, state
+        for j in range(ly + 1):
+            for state, tab in ((0, m), (1, ix), (2, iy)):
+                if tab[lx][j] > best:
+                    best, bi, bj, bstate = tab[lx][j], lx, j, state
+    else:
+        cands = (m[lx][ly], ix[lx][ly], iy[lx][ly])
+        bstate = max(range(3), key=lambda t: cands[t])
+        best, bi, bj = cands[bstate], lx, ly
+
+    # Traceback to the start of the aligned region.  The path begins at a
+    # cell whose M backpointer is the start marker (3): (0, 0) for global
+    # alignment, any border cell under free-start semantics.
+    i, j, state = bi, bj, bstate
+    ops: list[str] = []
+    while not (state == 0 and bm[i][j] == 3):
+        if state == 0:
+            state = bm[i][j]
+            i, j = i - 1, j - 1
+            ops.append("M" if x[i] == y[j] else "X")
+        elif state == 1:
+            state = bx[i][j]
+            i -= 1
+            ops.append("D")
+        else:
+            state = by[i][j]
+            j -= 1
+            ops.append("I")
+    ops.reverse()
+
+    return float(best), (i, j), (bi, bj), (lx + 1) * (ly + 1), "".join(ops)

@@ -1,0 +1,41 @@
+"""Classification of alignment shapes into the four accepted overlap
+patterns of Fig. 5b.
+
+Evidence for merging two clusters must be one of: a suffix of A aligning
+to a prefix of B, a suffix of B aligning to a prefix of A, or one string
+aligning entirely inside the other (either direction).  Any overlap-
+semantics alignment (free end gaps on both sides) ends and starts on
+borders of the DP table, so these four cases are exhaustive.
+"""
+
+from __future__ import annotations
+
+from repro.align.scoring import OverlapPattern
+
+__all__ = ["classify_pattern"]
+
+
+def classify_pattern(
+    a_start: int, a_end: int, lx: int, b_start: int, b_end: int, ly: int
+) -> OverlapPattern:
+    """Map overlap spans onto the four accepted shapes of Fig. 5b.
+
+    Containment takes precedence: when one string is fully covered by the
+    overlap it is contained in the other regardless of which flanks are
+    flush.
+    """
+    a_full = a_start == 0 and a_end == lx
+    b_full = b_start == 0 and b_end == ly
+    if b_full:
+        return OverlapPattern.A_CONTAINS_B
+    if a_full:
+        return OverlapPattern.B_CONTAINS_A
+    if a_end == lx and b_start == 0:
+        return OverlapPattern.SUFFIX_A_PREFIX_B
+    if b_end == ly and a_start == 0:
+        return OverlapPattern.SUFFIX_B_PREFIX_A
+    # Free-end-gap DP always starts and ends on a border, so one of the
+    # four cases above must hold.
+    raise AssertionError(
+        f"impossible overlap spans ({a_start},{a_end})/{lx} ({b_start},{b_end})/{ly}"
+    )

@@ -1,0 +1,112 @@
+"""Alignment scoring parameters, results, and acceptance criteria.
+
+Quality of clustering "can be controlled by the usual set of parameters,
+such as match and mismatch scores, gap opening and gap continuation
+penalties, and the ratio of score obtained to the ideal score consisting
+of all matches" (§3.3).  This module is that parameter surface.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = [
+    "ScoringParams",
+    "AcceptanceCriteria",
+    "OverlapPattern",
+    "AlignmentResult",
+]
+
+
+@dataclass(frozen=True)
+class ScoringParams:
+    """Affine-gap scoring.  Defaults follow common EST-assembly practice
+    (strong mismatch/gap penalties because ESTs are high-identity reads)."""
+
+    match: float = 2.0
+    mismatch: float = -3.0
+    gap_open: float = -5.0
+    gap_extend: float = -2.0
+
+    def __post_init__(self) -> None:
+        check_positive("match", self.match)
+        if self.mismatch >= 0:
+            raise ValueError(f"mismatch score must be negative, got {self.mismatch}")
+        if self.gap_open >= 0 or self.gap_extend >= 0:
+            raise ValueError("gap penalties must be negative")
+
+
+@dataclass(frozen=True)
+class AcceptanceCriteria:
+    """When does an alignment count as evidence to merge two clusters?
+
+    ``min_score_ratio`` is the paper's score-to-ideal ratio ("the ideal
+    score consisting of all matches" over the aligned region);
+    ``min_overlap`` guards against spuriously short overlaps.
+    """
+
+    min_score_ratio: float = 0.85
+    min_overlap: int = 40
+
+    def __post_init__(self) -> None:
+        check_in_range("min_score_ratio", self.min_score_ratio, 0.0, 1.0)
+        check_positive("min_overlap", self.min_overlap)
+
+
+class OverlapPattern(enum.Enum):
+    """The four alignment shapes accepted as merge evidence (Fig. 5b).
+
+    ``A``/``B`` refer to the two aligned strings; the suffix names which
+    shape the optimal path took in the dynamic-programming table.
+    """
+
+    SUFFIX_A_PREFIX_B = "suffix_a_prefix_b"  # A ends inside B's start: A →  B
+    SUFFIX_B_PREFIX_A = "suffix_b_prefix_a"  # B ends inside A's start: B →  A
+    A_CONTAINS_B = "a_contains_b"  # B aligns entirely within A
+    B_CONTAINS_A = "b_contains_a"  # A aligns entirely within B
+
+
+@dataclass(frozen=True)
+class AlignmentResult:
+    """Outcome of aligning one promising pair.
+
+    Spans are half-open on each string: the overlap covers
+    ``a[a_start:a_end]`` and ``b[b_start:b_end]``.  ``dp_cells`` counts the
+    dynamic-programming cells actually computed, the work measure used by
+    the banding ablation (a C implementation's run-time is proportional to
+    it; the paper's Fig. 5a is exactly about shrinking this area).
+    """
+
+    score: float
+    a_start: int
+    a_end: int
+    b_start: int
+    b_end: int
+    pattern: OverlapPattern
+    dp_cells: int
+    #: Edit transcript of the overlap ('M' match, 'X' mismatch, 'D' gap in
+    #: B / consumes A, 'I' gap in A / consumes B).  Only engines that do a
+    #: full traceback fill this in; the banded extender leaves it None.
+    ops: str | None = None
+
+    @property
+    def overlap_len(self) -> int:
+        """Length of the aligned region (the longer of the two spans)."""
+        return max(self.a_end - self.a_start, self.b_end - self.b_start)
+
+    def score_ratio(self, params: ScoringParams) -> float:
+        """Score relative to the ideal all-match score over the overlap."""
+        ideal = params.match * self.overlap_len
+        return self.score / ideal if ideal > 0 else 0.0
+
+    def accepted(self, params: ScoringParams, criteria: AcceptanceCriteria) -> bool:
+        """The paper's merge test: pattern is one of the accepted four by
+        construction, so acceptance is the score-ratio and overlap-length
+        thresholds."""
+        return (
+            self.overlap_len >= criteria.min_overlap
+            and self.score_ratio(params) >= criteria.min_score_ratio
+        )

@@ -1,0 +1,27 @@
+"""Baseline comparators: the traditional materialise-then-align strategy
+(arbitrary-order pair processing), a CAP3-like full-DP greedy assembler,
+and calibrated scaling-law models of the Table 1 tools."""
+
+from repro.baselines.allpairs import AllPairsReport, allpairs_cluster
+from repro.baselines.cost_models import (
+    CAP3,
+    MEMORY_BUDGET_MB,
+    PHRAP,
+    TABLE1_TOOLS,
+    TIGR_ASSEMBLER,
+    ToolCostModel,
+)
+from repro.baselines.greedy_assembler import AssemblerReport, cap3_like_cluster
+
+__all__ = [
+    "AllPairsReport",
+    "allpairs_cluster",
+    "CAP3",
+    "MEMORY_BUDGET_MB",
+    "PHRAP",
+    "TABLE1_TOOLS",
+    "TIGR_ASSEMBLER",
+    "ToolCostModel",
+    "AssemblerReport",
+    "cap3_like_cluster",
+]

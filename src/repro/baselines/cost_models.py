@@ -1,0 +1,73 @@
+"""Analytic run-time/memory models of the Table 1 comparators.
+
+Table 1 reports TIGR Assembler, Phrap and CAP3 on one IBM SP processor
+with 512 MB: TIGR cannot fit 50,000 ESTs; Phrap does 50,000 in 23 minutes
+but not 81,414; CAP3 needs 5 hours for 50,000 and cannot fit 81,414
+either.  Those executables are closed, 20 years old, and unavailable
+offline, so this module models them as calibrated scaling laws anchored
+exactly on the paper's reported points:
+
+- run-time  t(n) = t_ref · (n / n_ref)²   (the promising-pair and
+  alignment phases of all three tools are quadratic in practice);
+- memory    m(n) = m_base + m_ref · (n / n_ref)²   (dominated by the
+  materialised candidate-pair structures).
+
+Memory coefficients are pinned by the paper's feasibility observations:
+each tool's predicted footprint crosses the 512 MB budget exactly where
+Table 1 says it stopped fitting.  The bench for Table 1 combines these
+models (at paper scale) with *measured* footprints of our own baselines
+(at reproduction scale), so both the absolute historical row and the
+mechanism behind it are shown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ToolCostModel", "TIGR_ASSEMBLER", "PHRAP", "CAP3", "TABLE1_TOOLS", "MEMORY_BUDGET_MB"]
+
+#: The paper's per-processor memory budget (512 MB IBM SP node).
+MEMORY_BUDGET_MB = 512.0
+
+
+@dataclass(frozen=True)
+class ToolCostModel:
+    """Quadratic scaling law anchored at a reference input size."""
+
+    name: str
+    n_ref: int
+    runtime_ref_s: float  # run-time at n_ref
+    memory_ref_mb: float  # footprint at n_ref
+    memory_base_mb: float = 40.0  # code + sequence storage floor
+
+    def runtime_s(self, n: int) -> float:
+        return self.runtime_ref_s * (n / self.n_ref) ** 2
+
+    def memory_mb(self, n: int) -> float:
+        return self.memory_base_mb + self.memory_ref_mb * (n / self.n_ref) ** 2
+
+    def fits(self, n: int, budget_mb: float = MEMORY_BUDGET_MB) -> bool:
+        return self.memory_mb(n) <= budget_mb
+
+    def table1_cell(self, n: int, budget_mb: float = MEMORY_BUDGET_MB) -> str:
+        """Render a Table 1 cell: a time, or 'X' when out of memory."""
+        if not self.fits(n, budget_mb):
+            return "X"
+        t = self.runtime_s(n)
+        if t >= 3600:
+            return f"{t / 3600:.1f} hrs"
+        return f"{t / 60:.0f} mins"
+
+
+# Calibration (anchors straight from Table 1):
+# - TIGR: X already at 50,000 -> memory at 50k just above budget.
+# - Phrap: 23 mins at 50,000; X at 81,414 -> 512 MB crossing in between
+#   (memory_ref chosen so m(50k) ~ 400 MB < 512 < m(81.4k)).
+# - CAP3: 5 hrs at 50,000; X at 81,414 -> same feasibility window.
+TIGR_ASSEMBLER = ToolCostModel(
+    name="TIGR Assembler", n_ref=50_000, runtime_ref_s=40 * 60, memory_ref_mb=600.0
+)
+PHRAP = ToolCostModel(name="Phrap", n_ref=50_000, runtime_ref_s=23 * 60, memory_ref_mb=400.0)
+CAP3 = ToolCostModel(name="CAP3", n_ref=50_000, runtime_ref_s=5 * 3600, memory_ref_mb=380.0)
+
+TABLE1_TOOLS = [TIGR_ASSEMBLER, PHRAP, CAP3]

@@ -1,0 +1,118 @@
+"""A CAP3-like comparator for the quality table (Table 2).
+
+CAP3 (Huang & Madan 1999) computes overlaps between all candidate read
+pairs with full dynamic programming, then assembles greedily in order of
+overlap quality.  The paper found CAP3 the most accurate of the three
+tools but unable to fit large inputs in memory (Tables 1–2).
+
+This comparator reproduces that *profile* on our substrate:
+
+- candidate pairs come from the same exact-match filter (so the
+  comparison is about alignment and ordering, not seeding);
+- every candidate is aligned with **full whole-string overlap DP** — the
+  optimal overlap, unconstrained by a seed or a band, hence alignment
+  quality ≥ the banded seed extension's (a handful of borderline true
+  overlaps score above threshold here that the restricted engine misses);
+- scored pairs are buffered and merged best-score-first;
+- the pair buffer and the quadratic DP work are both accounted, which is
+  what renders this engine unusable at scale (Table 1's message).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.align.extend import PairAligner
+from repro.align.scoring import AcceptanceCriteria
+from repro.cluster.greedy import WorkCounters
+from repro.cluster.manager import ClusterManager
+from repro.core.config import ClusteringConfig
+from repro.core.results import ClusteringResult
+from repro.metrics.memory import MemoryLedger
+from repro.pairs.sa_generator import SaPairGenerator
+from repro.sequence.collection import EstCollection
+from repro.suffix.gst import SuffixArrayGst
+from repro.util.timing import TimingBreakdown
+
+__all__ = ["AssemblerReport", "cap3_like_cluster"]
+
+
+@dataclass
+class AssemblerReport:
+    result: ClusteringResult
+    memory: MemoryLedger
+
+    @property
+    def peak_pairs_buffered(self) -> int:
+        return self.memory.peak.get("pairs", 0)
+
+
+def cap3_like_cluster(
+    collection: EstCollection,
+    config: ClusteringConfig | None = None,
+    *,
+    criteria: AcceptanceCriteria | None = None,
+    gst: SuffixArrayGst | None = None,
+) -> AssemblerReport:
+    """Cluster with the CAP3-like compute-all-overlaps-first strategy.
+
+    ``criteria`` defaults to the config's acceptance thresholds; CAP3's
+    scores are computed by unrestricted overlap DP, so the same thresholds
+    admit slightly more true overlaps than the banded engine does.
+    """
+    config = config or ClusteringConfig()
+    criteria = criteria or config.acceptance
+    timings = TimingBreakdown()
+    ledger = MemoryLedger()
+
+    with timings.measure("gst_construction"):
+        gst = gst or SuffixArrayGst.build(collection)
+    with timings.measure("sort_nodes"):
+        generator = SaPairGenerator(gst, psi=config.psi)
+
+    # Deduplicate candidates by pair identity (CAP3 scores each read pair
+    # once), keeping the first (longest-seed) witness.
+    with timings.measure("pair_enumeration"):
+        seen: dict[tuple[int, int, bool], object] = {}
+        for pair in generator.pairs():
+            seen.setdefault(pair.key, pair)
+        candidates = list(seen.values())
+    ledger.set_peak("pairs", len(candidates))
+
+    # Full-DP scoring of every candidate (the quadratic phase).
+    aligner = PairAligner(
+        collection,
+        params=config.scoring,
+        criteria=criteria,
+        use_seed_extension=False,  # whole-string overlap DP
+    )
+    counters = WorkCounters()
+    scored = []
+    with timings.measure("alignment"):
+        for pair in candidates:
+            counters.pairs_generated += 1
+            result = aligner.align_pair(pair)
+            counters.pairs_processed += 1
+            scored.append((result.score_ratio(config.scoring), pair, result))
+        counters.dp_cells = aligner.dp_cells_total
+    ledger.set_peak("scored_overlaps", len(scored))
+
+    # Greedy assembly: best overlaps first.
+    manager = ClusterManager(collection.n_ests)
+    with timings.measure("assembly"):
+        scored.sort(key=lambda t: -t[0])
+        for _ratio, pair, result in scored:
+            if result.accepted(config.scoring, criteria):
+                counters.pairs_accepted += 1
+                if not manager.same_cluster(pair.est_a, pair.est_b):
+                    manager.merge(pair, result)
+
+    result_obj = ClusteringResult(
+        n_ests=collection.n_ests,
+        clusters=manager.clusters(),
+        counters=counters,
+        timings=timings,
+        gen_stats=generator.stats,
+        merges=list(manager.merges),
+    )
+    return AssemblerReport(result=result_obj, memory=ledger)

@@ -1,0 +1,223 @@
+"""Command-line interface: cluster / simulate / evaluate.
+
+The original PaCE shipped as a command-line program; this module provides
+the equivalent driver surface::
+
+    pace-est cluster ests.fa -o clusters.tsv --psi 25 --min-overlap 40
+    pace-est cluster ests.fa --parallel 8 --machine simulated
+    pace-est simulate bench.fa --genes 20 --coverage 10 --truth truth.tsv
+    pace-est evaluate clusters.tsv truth.tsv
+
+``cluster`` writes a two-column TSV (EST name, cluster id); ``simulate``
+writes a FASTA benchmark plus its ground-truth TSV; ``evaluate`` prints
+the paper's OQ/OV/UN/CC metrics between two assignment files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.align.scoring import AcceptanceCriteria
+from repro.cluster.analysis import profile_clusters
+from repro.core import ClusteringConfig, PaceClusterer
+from repro.metrics import assess_clustering
+from repro.parallel import run_parallel
+from repro.sequence import EstCollection, FastaRecord, read_fasta, write_fasta
+from repro.simulate import BenchmarkParams, make_benchmark
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pace-est",
+        description="Parallel EST clustering (PaCE reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    c = sub.add_parser("cluster", help="cluster a FASTA file of ESTs")
+    c.add_argument("fasta", type=Path, help="input FASTA")
+    c.add_argument("-o", "--output", type=Path, help="output TSV (default: stdout)")
+    c.add_argument("--w", type=int, default=8, help="bucket window (default 8)")
+    c.add_argument("--psi", type=int, default=25, help="pair threshold ψ (default 25)")
+    c.add_argument("--batchsize", type=int, default=60)
+    c.add_argument("--min-overlap", type=int, default=40)
+    c.add_argument("--min-ratio", type=float, default=0.85, help="score/ideal acceptance")
+    c.add_argument("--parallel", type=int, default=0, metavar="P",
+                   help="use P processors (0 = sequential)")
+    c.add_argument("--machine", choices=("simulated", "multiprocessing"),
+                   default="multiprocessing")
+    c.add_argument("--clusters-fasta-dir", type=Path,
+                   help="also write one FASTA per cluster into this directory")
+    c.add_argument("--representatives", type=Path, metavar="FASTA",
+                   help="write one representative EST per cluster (the "
+                        "member with the most merge-overlap evidence)")
+
+    s = sub.add_parser("simulate", help="generate a synthetic EST benchmark")
+    s.add_argument("fasta", type=Path, help="output FASTA")
+    s.add_argument("--genes", type=int, default=20)
+    s.add_argument("--coverage", type=float, default=10.0, help="mean ESTs per gene")
+    s.add_argument("--read-length", type=float, default=550.0)
+    s.add_argument("--error-rate", type=float, default=0.02,
+                   help="total error rate (half substitutions, half indels)")
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--truth", type=Path, help="write ground-truth TSV here")
+
+    e = sub.add_parser("evaluate", help="score a clustering against truth")
+    e.add_argument("predicted", type=Path, help="TSV: name<TAB>cluster")
+    e.add_argument("truth", type=Path, help="TSV: name<TAB>cluster")
+
+    return parser
+
+
+def _read_assignments(path: Path) -> dict[str, str]:
+    out: dict[str, str] = {}
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("\t")
+        if len(parts) != 2:
+            raise SystemExit(f"{path}:{lineno}: expected 'name<TAB>cluster'")
+        out[parts[0]] = parts[1]
+    return out
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    records = read_fasta(args.fasta)
+    collection = EstCollection.from_records(records)
+    config = ClusteringConfig(
+        w=args.w,
+        psi=args.psi,
+        batchsize=args.batchsize,
+        acceptance=AcceptanceCriteria(
+            min_score_ratio=args.min_ratio, min_overlap=args.min_overlap
+        ),
+    )
+    if args.parallel:
+        result = run_parallel(
+            collection, config, n_processors=args.parallel, machine=args.machine
+        )
+    else:
+        result = PaceClusterer(config).cluster(collection)
+
+    print(result.summary(), file=sys.stderr)
+    print(profile_clusters(result.clusters), file=sys.stderr)
+
+    lines = []
+    for cid, members in enumerate(result.clusters):
+        for i in members:
+            lines.append(f"{records[i].name}\t{cid}")
+    text = "\n".join(lines) + "\n"
+    if args.output:
+        args.output.write_text(text)
+    else:
+        sys.stdout.write(text)
+
+    if args.clusters_fasta_dir:
+        args.clusters_fasta_dir.mkdir(parents=True, exist_ok=True)
+        for cid, members in enumerate(result.clusters):
+            write_fasta(
+                (FastaRecord(records[i].name, records[i].sequence) for i in members),
+                args.clusters_fasta_dir / f"cluster_{cid:05d}.fa",
+            )
+
+    if args.representatives:
+        from repro.cluster import select_representatives
+
+        reps = select_representatives(
+            collection, result.clusters, strategy="connected", merges=result.merges
+        )
+        write_fasta(
+            (
+                FastaRecord(
+                    records[rep].name,
+                    records[rep].sequence,
+                    description=f"cluster_{cid} size={len(result.clusters[cid])}",
+                )
+                for cid, rep in enumerate(reps)
+            ),
+            args.representatives,
+        )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.simulate import ErrorModel, ReadParams
+
+    sub = args.error_rate / 2
+    indel = args.error_rate / 4
+    # Exon sizes scale with the read length so the default coverage gives
+    # overlapping reads regardless of the regime (mRNA ≈ 2-6 read lengths).
+    exon_lo = max(60, int(args.read_length * 0.7))
+    exon_hi = max(exon_lo + 1, int(args.read_length * 1.6))
+    params = BenchmarkParams(
+        n_genes=args.genes,
+        mean_ests_per_gene=args.coverage,
+        read_params=ReadParams(
+            mean_length=args.read_length,
+            sd_length=args.read_length * 0.12,
+            min_length=max(40, int(args.read_length * 0.3)),
+        ),
+        error_model=ErrorModel(sub, indel, indel),
+        n_exons_range=(1, 3),
+        exon_len_range=(exon_lo, exon_hi),
+    )
+    bench = make_benchmark(params, rng=args.seed)
+    write_fasta(
+        (
+            FastaRecord(f"EST{i:05d}", bench.collection.est_string(i))
+            for i in range(bench.n_ests)
+        ),
+        args.fasta,
+    )
+    print(
+        f"wrote {bench.n_ests} ESTs ({bench.collection.total_chars:,} bases, "
+        f"{len(bench.genes)} genes) to {args.fasta}",
+        file=sys.stderr,
+    )
+    if args.truth:
+        args.truth.write_text(
+            "\n".join(
+                f"EST{i:05d}\t{gene}" for i, gene in enumerate(bench.true_labels)
+            )
+            + "\n"
+        )
+        print(f"wrote ground truth to {args.truth}", file=sys.stderr)
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    pred = _read_assignments(args.predicted)
+    truth = _read_assignments(args.truth)
+    names = sorted(truth)
+    missing = [n for n in names if n not in pred]
+    if missing:
+        raise SystemExit(
+            f"{len(missing)} ESTs missing from {args.predicted} (e.g. {missing[0]})"
+        )
+    pred_ids = {c: k for k, c in enumerate(dict.fromkeys(pred[n] for n in names))}
+    true_ids = {c: k for k, c in enumerate(dict.fromkeys(truth[n] for n in names))}
+    report = assess_clustering(
+        [pred_ids[pred[n]] for n in names],
+        [true_ids[truth[n]] for n in names],
+    )
+    print(report)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "evaluate":
+        return _cmd_evaluate(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

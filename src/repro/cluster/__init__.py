@@ -1,0 +1,10 @@
+"""Cluster maintenance: union-find (inverse-Ackermann amortised), the
+master's cluster manager, and the sequential greedy clustering loop."""
+
+from repro.cluster.analysis import ClusterProfile, profile_clusters, suspicious_merges
+from repro.cluster.greedy import WorkCounters, greedy_cluster
+from repro.cluster.manager import ClusterManager, MergeRecord
+from repro.cluster.representatives import select_representatives
+from repro.cluster.union_find import UnionFind
+
+__all__ = ["ClusterProfile", "profile_clusters", "suspicious_merges", "WorkCounters", "greedy_cluster", "ClusterManager", "MergeRecord", "UnionFind", "select_representatives"]

@@ -1,0 +1,89 @@
+"""Cluster-level analysis and reporting.
+
+EST-clustering consumers (gene-index builders, microarray designers —
+the applications §1 motivates) work with the *cluster profile*, not raw
+partitions: how many clusters, how big, how many orphan reads, which
+clusters look suspicious.  This module computes those summaries plus
+per-cluster consistency diagnostics based on the recorded merge evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.manager import MergeRecord
+
+__all__ = ["ClusterProfile", "profile_clusters", "suspicious_merges"]
+
+
+@dataclass(frozen=True)
+class ClusterProfile:
+    """Size-distribution summary of a clustering."""
+
+    n_ests: int
+    n_clusters: int
+    n_singletons: int
+    largest: int
+    mean_size: float
+    median_size: float
+    size_histogram: tuple[tuple[int, int], ...]  # (size, count), ascending
+
+    @property
+    def singleton_fraction(self) -> float:
+        return self.n_singletons / self.n_clusters if self.n_clusters else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.n_ests} ESTs in {self.n_clusters} clusters "
+            f"(largest {self.largest}, mean {self.mean_size:.1f}, "
+            f"{self.n_singletons} singletons)"
+        )
+
+
+def profile_clusters(clusters: list[list[int]]) -> ClusterProfile:
+    """Summarise a partition."""
+    if not clusters:
+        return ClusterProfile(0, 0, 0, 0, 0.0, 0.0, ())
+    sizes = sorted(len(c) for c in clusters)
+    n = sum(sizes)
+    hist: dict[int, int] = {}
+    for s in sizes:
+        hist[s] = hist.get(s, 0) + 1
+    mid = len(sizes) // 2
+    median = (
+        float(sizes[mid])
+        if len(sizes) % 2
+        else (sizes[mid - 1] + sizes[mid]) / 2.0
+    )
+    return ClusterProfile(
+        n_ests=n,
+        n_clusters=len(sizes),
+        n_singletons=hist.get(1, 0),
+        largest=sizes[-1],
+        mean_size=n / len(sizes),
+        median_size=median,
+        size_histogram=tuple(sorted(hist.items())),
+    )
+
+
+def suspicious_merges(
+    merges: list[MergeRecord],
+    *,
+    max_ratio: float = 0.92,
+    params=None,
+) -> list[MergeRecord]:
+    """Merges whose witnessing alignment was comparatively weak.
+
+    Chimeric reads and paralog bleed-through enter clusters via the
+    weakest accepted overlaps; surfacing the lowest-ratio merge witnesses
+    gives curators a review list ordered by risk (the paper's "additional
+    processing ... to improve quality" hook, §3.3).
+    """
+    from repro.align.scoring import ScoringParams
+
+    params = params or ScoringParams()
+    flagged = [
+        rec for rec in merges if rec.result.score_ratio(params) < max_ratio
+    ]
+    flagged.sort(key=lambda rec: rec.result.score_ratio(params))
+    return flagged

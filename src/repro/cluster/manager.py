@@ -1,0 +1,75 @@
+"""The master's CLUSTERS state: union–find over ESTs plus a merge log.
+
+"In our approach, each EST is initially considered a cluster by itself.
+Two clusters are merged when an EST from each cluster can be identified
+that show strong overlap using the pairwise alignment algorithm" (§2).
+The manager also answers the pair-selection question — is this pair
+already co-clustered? — which is the mechanism that makes most generated
+pairs never need alignment (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.align.scoring import AlignmentResult
+from repro.cluster.union_find import UnionFind
+from repro.pairs.pair import Pair
+
+__all__ = ["MergeRecord", "ClusterManager"]
+
+
+@dataclass(frozen=True)
+class MergeRecord:
+    """One accepted merge: the witnessing pair and its alignment."""
+
+    pair: Pair
+    result: AlignmentResult
+
+
+class ClusterManager:
+    """Cluster bookkeeping for one clustering run."""
+
+    def __init__(self, n_ests: int) -> None:
+        self._uf = UnionFind(n_ests)
+        self.merges: list[MergeRecord] = []
+
+    @property
+    def n_ests(self) -> int:
+        return self._uf.n_elements
+
+    @property
+    def n_clusters(self) -> int:
+        return self._uf.n_components
+
+    def same_cluster(self, est_a: int, est_b: int) -> bool:
+        """The master's pair-selection test: a pair whose ESTs already
+        share a cluster is dropped without alignment."""
+        return self._uf.same(est_a, est_b)
+
+    def seed_union(self, est_a: int, est_b: int) -> bool:
+        """Merge two clusters without a witnessing alignment — used to
+        restore a previously-computed partition (incremental clustering)."""
+        return self._uf.union(est_a, est_b)
+
+    def merge(self, pair: Pair, result: AlignmentResult) -> bool:
+        """Record an accepted alignment and merge the two clusters."""
+        merged = self._uf.union(pair.est_a, pair.est_b)
+        if merged:
+            self.merges.append(MergeRecord(pair, result))
+        return merged
+
+    def clusters(self) -> list[list[int]]:
+        return self._uf.components()
+
+    def labels(self) -> list[int]:
+        """Cluster label per EST (the representative id)."""
+        return [self._uf.find(i) for i in range(self._uf.n_elements)]
+
+    @property
+    def find_count(self) -> int:
+        return self._uf.finds
+
+    @property
+    def union_count(self) -> int:
+        return self._uf.unions

@@ -1,0 +1,61 @@
+"""Representative selection: one exemplar EST per cluster.
+
+Downstream consumers of EST clusters — gene indices (UniGene-style),
+probe designers, annotation pipelines (§1's motivating applications) —
+usually need a single representative sequence per cluster.  Two
+strategies are provided:
+
+- ``"longest"`` — the longest member; simple, favours the most complete
+  cDNA fragment;
+- ``"connected"`` — the member with the greatest total accepted-overlap
+  length in the merge evidence; favours reads central to the cluster's
+  overlap graph and robust to one long chimeric read.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.manager import MergeRecord
+from repro.sequence.collection import EstCollection
+
+__all__ = ["select_representatives"]
+
+
+def select_representatives(
+    collection: EstCollection,
+    clusters: list[list[int]],
+    *,
+    strategy: str = "longest",
+    merges: list[MergeRecord] | None = None,
+) -> list[int]:
+    """One EST index per cluster, aligned with ``clusters``' order.
+
+    ``strategy="connected"`` requires the run's merge records; ESTs
+    appearing in no merge (singletons, or members joined transitively)
+    score 0 and fall back to length as the tiebreak, so the function is
+    total.  All ties break toward the smaller EST id (deterministic).
+    """
+    if strategy not in ("longest", "connected"):
+        raise ValueError(f"unknown strategy {strategy!r}")
+    if strategy == "connected" and merges is None:
+        raise ValueError("strategy='connected' needs the run's merge records")
+
+    overlap_sum: dict[int, int] = {}
+    if merges:
+        for rec in merges:
+            length = rec.result.overlap_len
+            overlap_sum[rec.pair.est_a] = overlap_sum.get(rec.pair.est_a, 0) + length
+            overlap_sum[rec.pair.est_b] = overlap_sum.get(rec.pair.est_b, 0) + length
+
+    reps: list[int] = []
+    for members in clusters:
+        if not members:
+            raise ValueError("empty cluster in partition")
+
+        def score(i: int) -> tuple:
+            length = collection.length(2 * i)
+            if strategy == "longest":
+                return (length, -i)
+            return (overlap_sum.get(i, 0), length, -i)
+
+        reps.append(max(members, key=score))
+    return reps

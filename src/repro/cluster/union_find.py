@@ -1,0 +1,66 @@
+"""Union–find (disjoint sets) with union by rank and path compression.
+
+The master processor maintains the EST clusters in exactly this structure
+(§3.3, citing Tarjan): ``find`` locates an EST's cluster and ``union``
+merges two clusters, with amortised cost given by the inverse Ackermann
+function — constant for all practical purposes.  Operation counters are
+kept because the master's bookkeeping load is part of the paper's
+"single master is not a bottleneck" argument.
+"""
+
+from __future__ import annotations
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Disjoint sets over the integers ``0 .. n-1``."""
+
+    __slots__ = ("_parent", "_rank", "n_elements", "n_components", "finds", "unions")
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError(f"need at least one element, got {n}")
+        self._parent = list(range(n))
+        self._rank = [0] * n
+        self.n_elements = n
+        self.n_components = n
+        self.finds = 0
+        self.unions = 0
+
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s set (with full path compression)."""
+        self.finds += 1
+        parent = self._parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, x: int, y: int) -> bool:
+        """Merge the sets of ``x`` and ``y``; True iff they were distinct."""
+        self.unions += 1
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return False
+        if self._rank[rx] < self._rank[ry]:
+            rx, ry = ry, rx
+        self._parent[ry] = rx
+        if self._rank[rx] == self._rank[ry]:
+            self._rank[rx] += 1
+        self.n_components -= 1
+        return True
+
+    def same(self, x: int, y: int) -> bool:
+        return self.find(x) == self.find(y)
+
+    def components(self) -> list[list[int]]:
+        """All sets, each sorted, ordered by smallest member."""
+        groups: dict[int, list[int]] = {}
+        for x in range(self.n_elements):
+            groups.setdefault(self.find(x), []).append(x)
+        clusters = [sorted(members) for members in groups.values()]
+        clusters.sort(key=lambda members: members[0])
+        return clusters

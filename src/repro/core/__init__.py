@@ -1,0 +1,23 @@
+"""Public API: configuration, the sequential pipeline, results, and the
+paper's future-work extensions (incremental clustering, alternative-
+splicing detection)."""
+
+from repro.core.config import ClusteringConfig
+from repro.core.incremental import IncrementalClusterer
+from repro.core.pipeline import PaceClusterer
+from repro.core.results import COMPONENT_ORDER, ClusteringResult
+from repro.core.splicing import SplicingEvent, detect_splicing_events
+from repro.core.tuning import ThresholdPoint, TuningResult, tune_acceptance
+
+__all__ = [
+    "ClusteringConfig",
+    "IncrementalClusterer",
+    "PaceClusterer",
+    "COMPONENT_ORDER",
+    "ClusteringResult",
+    "SplicingEvent",
+    "ThresholdPoint",
+    "TuningResult",
+    "tune_acceptance",
+    "detect_splicing_events",
+]

@@ -1,0 +1,75 @@
+"""The single configuration surface of the clustering system.
+
+Paper-derived defaults: window ``w = 8`` ("a window size of eight is used
+in partitioning the ESTs into buckets", §4.2), ``batchsize = 60`` ("batch
+size is chosen to be sixty pairs"; Fig. 8 locates the optimum at 40–60),
+and a ψ threshold sized to the read regime (long exact matches are
+abundant between true overlaps at 1–2% error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.align.extend import BandPolicy
+from repro.align.scoring import AcceptanceCriteria, ScoringParams
+from repro.util.validation import check_positive
+
+__all__ = ["ClusteringConfig"]
+
+
+@dataclass(frozen=True)
+class ClusteringConfig:
+    """Parameters of a clustering run (sequential or parallel)."""
+
+    #: Bucket window w: suffixes are partitioned on their first w characters.
+    w: int = 8
+    #: Promising-pair threshold ψ: minimum maximal-common-substring length.
+    psi: int = 25
+    #: Pairs per master→slave work message (Fig. 8 sweeps this).
+    batchsize: int = 60
+    #: GST backend: "suffix_array" (production) or "tree" (paper-faithful).
+    backend: str = "suffix_array"
+    #: Master-side pair selection: skip pairs already co-clustered.
+    skip_clustered: bool = True
+    #: Align by banded seed extension (Fig. 5a); False = whole-string DP.
+    use_seed_extension: bool = True
+    #: Seed-extension scorer: "banded" (optimal affine score within the
+    #: band) or "kdiff" (greedy minimum-edit, O(k^2) work — the fast path;
+    #: quality-equivalent at EST error rates, see benchmarks/bench_engines).
+    align_engine: str = "banded"
+    scoring: ScoringParams = field(default_factory=ScoringParams)
+    acceptance: AcceptanceCriteria = field(default_factory=AcceptanceCriteria)
+    band_policy: BandPolicy = field(default_factory=BandPolicy)
+    #: Capacity of the master's WORKBUF, in pairs (§3.3).
+    workbuf_capacity: int = 4096
+    #: Capacity of each slave's PAIRBUF, in pairs (§3.3).
+    pairbuf_capacity: int = 1024
+
+    def __post_init__(self) -> None:
+        check_positive("w", self.w)
+        check_positive("psi", self.psi)
+        check_positive("batchsize", self.batchsize)
+        check_positive("workbuf_capacity", self.workbuf_capacity)
+        check_positive("pairbuf_capacity", self.pairbuf_capacity)
+        if self.psi < self.w:
+            raise ValueError(
+                f"psi ({self.psi}) must be >= w ({self.w}): buckets split the "
+                f"GST at depth w, so shallower nodes are unavailable"
+            )
+        if self.backend not in ("suffix_array", "tree"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.align_engine not in ("banded", "kdiff"):
+            raise ValueError(f"unknown align_engine {self.align_engine!r}")
+
+    @classmethod
+    def small_reads(cls, **overrides) -> "ClusteringConfig":
+        """Defaults scaled to the short-read test regime
+        (:meth:`repro.simulate.ReadParams.short_reads`)."""
+        base = dict(
+            w=6,
+            psi=15,
+            acceptance=AcceptanceCriteria(min_score_ratio=0.8, min_overlap=30),
+        )
+        base.update(overrides)
+        return cls(**base)

@@ -1,0 +1,121 @@
+"""The sequential clustering pipeline — the library's front door.
+
+:class:`PaceClusterer` wires the substrates together exactly as Fig. 2 of
+the paper: GST construction → on-demand pair generation → pair selection →
+pairwise alignment → cluster management, and reports the per-component
+timing breakdown in Table 3's categories.
+
+For multi-processor runs (real or simulated) see
+:mod:`repro.parallel.runtime`; for adding new EST batches to an existing
+clustering see :mod:`repro.core.incremental`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.align.extend import PairAligner
+from repro.cluster.greedy import WorkCounters, greedy_cluster
+from repro.cluster.manager import ClusterManager
+from repro.core.config import ClusteringConfig
+from repro.core.results import ClusteringResult
+from repro.pairs.generator import TreePairGenerator
+from repro.pairs.pair import Pair
+from repro.pairs.sa_generator import SaPairGenerator
+from repro.sequence.collection import EstCollection
+from repro.suffix.gst import NaiveGst, SuffixArrayGst
+from repro.util.timing import TimingBreakdown
+
+__all__ = ["PaceClusterer"]
+
+
+class PaceClusterer:
+    """Sequential EST clustering with the paper's algorithm set."""
+
+    def __init__(self, config: ClusteringConfig | None = None) -> None:
+        self.config = config or ClusteringConfig()
+
+    # ------------------------------------------------------------------ #
+
+    def cluster(self, collection: EstCollection) -> ClusteringResult:
+        """Cluster a collection end to end."""
+        cfg = self.config
+        timings = TimingBreakdown()
+
+        with timings.measure("gst_construction"):
+            if cfg.backend == "suffix_array":
+                gst = SuffixArrayGst.build(collection)
+            else:
+                gst = NaiveGst.build(collection, w=cfg.w)
+
+        # Forest construction + decreasing-depth ordering happen lazily in
+        # the generators; constructing the generator here accounts the
+        # eager part (forest building) under "sort_nodes", like Table 3.
+        with timings.measure("sort_nodes"):
+            if cfg.backend == "suffix_array":
+                generator = SaPairGenerator(gst, psi=cfg.psi)
+            else:
+                generator = TreePairGenerator(gst, psi=cfg.psi)
+
+        aligner = PairAligner(
+            collection,
+            params=cfg.scoring,
+            criteria=cfg.acceptance,
+            band_policy=cfg.band_policy,
+            use_seed_extension=cfg.use_seed_extension,
+            engine=cfg.align_engine,
+        )
+        manager = ClusterManager(collection.n_ests)
+        counters = WorkCounters()
+        with timings.measure("alignment"):
+            greedy_cluster(
+                generator.pairs(),
+                aligner,
+                manager,
+                skip_clustered=cfg.skip_clustered,
+                counters=counters,
+            )
+
+        return ClusteringResult(
+            n_ests=collection.n_ests,
+            clusters=manager.clusters(),
+            counters=counters,
+            timings=timings,
+            gen_stats=generator.stats,
+            merges=list(manager.merges),
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def cluster_pairs(
+        self, collection: EstCollection, pair_stream: Iterable[Pair]
+    ) -> ClusteringResult:
+        """Cluster from an externally-supplied pair stream (ablations and
+        baselines feed arbitrary-order streams through this)."""
+        cfg = self.config
+        timings = TimingBreakdown()
+        aligner = PairAligner(
+            collection,
+            params=cfg.scoring,
+            criteria=cfg.acceptance,
+            band_policy=cfg.band_policy,
+            use_seed_extension=cfg.use_seed_extension,
+            engine=cfg.align_engine,
+        )
+        manager = ClusterManager(collection.n_ests)
+        counters = WorkCounters()
+        with timings.measure("alignment"):
+            greedy_cluster(
+                pair_stream,
+                aligner,
+                manager,
+                skip_clustered=cfg.skip_clustered,
+                counters=counters,
+            )
+        return ClusteringResult(
+            n_ests=collection.n_ests,
+            clusters=manager.clusters(),
+            counters=counters,
+            timings=timings,
+            merges=list(manager.merges),
+        )

@@ -1,0 +1,52 @@
+"""Result objects returned by the clustering drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.greedy import WorkCounters
+from repro.cluster.manager import MergeRecord
+from repro.pairs.sa_generator import PairGenStats
+from repro.util.timing import TimingBreakdown
+
+__all__ = ["ClusteringResult", "COMPONENT_ORDER"]
+
+#: Table 3's component columns, in the paper's order.
+COMPONENT_ORDER = ["partitioning", "gst_construction", "sort_nodes", "alignment"]
+
+
+@dataclass
+class ClusteringResult:
+    """Everything a clustering run reports.
+
+    ``clusters`` is the final partition (lists of EST indices);
+    ``counters`` the Fig. 7 pair-flow accounting; ``timings`` the Table 3
+    component breakdown; ``gen_stats`` the generator-side counters
+    (including the peak lset footprint behind the O(N)-space claim).
+    """
+
+    n_ests: int
+    clusters: list[list[int]]
+    counters: WorkCounters
+    timings: TimingBreakdown
+    gen_stats: PairGenStats | None = None
+    merges: list[MergeRecord] = field(default_factory=list)
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+    def labels(self) -> list[int]:
+        out = [-1] * self.n_ests
+        for cid, members in enumerate(self.clusters):
+            for x in members:
+                out[x] = cid
+        return out
+
+    def summary(self) -> str:
+        c = self.counters
+        return (
+            f"{self.n_ests} ESTs -> {self.n_clusters} clusters | "
+            f"pairs generated {c.pairs_generated}, aligned {c.pairs_processed}, "
+            f"accepted {c.pairs_accepted} | total {self.timings.total:.2f}s"
+        )

@@ -1,0 +1,194 @@
+"""Alternative-splicing detection — the paper's quality extension.
+
+§3.3: "Additional processing like detection of alternative splicing and
+consulting protein databases can be done to improve quality of the
+results"; §5 lists it as work in progress.  This module implements the
+detection half: within each final cluster, find EST pairs whose best
+overlap alignment contains a *long internal gap run* — the unmistakable
+signature of an exon present in one transcript and skipped in the other.
+
+Detection runs as a post-pass over clusters (bounded per-cluster pair
+budget), using the full-traceback reference aligner so the gap structure
+is exact.  Events are reported, not acted on: whether a long internal gap
+means a splice form or a chimeric read is a judgement call left to the
+caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.align.full_dp import overlap_align
+from repro.align.scoring import ScoringParams
+from repro.sequence.collection import EstCollection
+from repro.util.validation import check_positive
+
+__all__ = ["SplicingEvent", "detect_splicing_events", "SPLICE_SCORING"]
+
+#: Scoring tuned for *finding* long gaps rather than penalising them:
+#: assembly scoring (gap_extend ≈ -2) lets chance matches inside a skipped
+#: exon "ladder" one long gap into many short ones, hiding the event.  A
+#: cheap extension with an expensive open keeps the skip as a single run.
+SPLICE_SCORING = ScoringParams(match=2.0, mismatch=-3.0, gap_open=-10.0, gap_extend=-0.5)
+
+
+@dataclass(frozen=True)
+class SplicingEvent:
+    """A putative exon-skip between two co-clustered ESTs.
+
+    ``gap_in`` names which EST lacks the sequence ('a' means the gap run
+    consumed only EST b: EST a skips that block).
+    """
+
+    est_a: int
+    est_b: int
+    complemented: bool
+    gap_length: int
+    gap_in: str  # 'a' or 'b'
+    a_position: int  # position of the gap on EST a's coordinates
+    identity_outside_gap: float
+
+    def __post_init__(self) -> None:
+        if self.gap_in not in ("a", "b"):
+            raise ValueError(f"gap_in must be 'a' or 'b', got {self.gap_in!r}")
+
+
+def detect_splicing_events(
+    collection: EstCollection,
+    clusters: list[list[int]],
+    *,
+    params: ScoringParams | None = None,
+    min_gap: int = 40,
+    min_flank: int = 25,
+    min_identity: float = 0.85,
+    max_pairs_per_cluster: int = 60,
+) -> list[SplicingEvent]:
+    """Scan clusters for exon-skip signatures.
+
+    Parameters
+    ----------
+    min_gap:
+        Minimum internal gap run to call an event (shorter runs are
+        ordinary sequencing indel noise).
+    min_flank:
+        Aligned (non-gap) context required on *both* sides of the run —
+        a gap at the overlap border is a dovetail artefact, not a skip.
+    min_identity:
+        Required identity of the non-gap portion: a skip is only credible
+        between reads that otherwise agree.
+    max_pairs_per_cluster:
+        Per-cluster budget of pairwise alignments (clusters are scanned in
+        EST-id order until the budget runs out) — keeps the post-pass
+        linear-ish in practice.
+    """
+    check_positive("min_gap", min_gap)
+    check_positive("min_flank", min_flank)
+    params = params or SPLICE_SCORING
+    events: list[SplicingEvent] = []
+
+    for members in clusters:
+        budget = max_pairs_per_cluster
+        for i, j in combinations(sorted(members), 2):
+            if budget <= 0:
+                break
+            budget -= 1
+            best = None
+            for orient in (0, 1):
+                a = collection.string(2 * i)
+                b = collection.string(2 * j + orient)
+                res = overlap_align(a, b, params)
+                if best is None or res.score > best[0].score:
+                    best = (res, orient)
+            res, orient = best
+            event = _event_from_ops(
+                res.ops, i, j, bool(orient), res.a_start, min_gap, min_flank, min_identity
+            )
+            if event is not None:
+                events.append(event)
+    return events
+
+
+def _event_from_ops(
+    ops: str,
+    est_a: int,
+    est_b: int,
+    complemented: bool,
+    a_start: int,
+    min_gap: int,
+    min_flank: int,
+    min_identity: float,
+) -> SplicingEvent | None:
+    """Find the longest qualifying internal gap run in an edit transcript.
+
+    Same-direction gap runs separated by at most 4 aligned columns are
+    coalesced first: chance matches inside a skipped exon fragment the
+    run, but the biological event is one block.
+    """
+    if not ops:
+        return None
+    # Raw runs: (kind, start, length) for gaps, aligned stretches merged.
+    raw: list[tuple[str, int, int]] = []
+    k = 0
+    while k < len(ops):
+        op = ops[k]
+        kind = op if op in ("I", "D") else "A"
+        start = k
+        while k < len(ops) and (ops[k] if ops[k] in ("I", "D") else "A") == kind:
+            k += 1
+        raw.append((kind, start, k - start))
+
+    # Coalesce I...I (or D...D) runs across short aligned islands.
+    best_run: tuple[int, int, str] | None = None  # (gap_len, start, kind)
+    for idx, (kind, start, length) in enumerate(raw):
+        if kind == "A":
+            continue
+        gap_len = length
+        end_idx = idx
+        j = idx + 1
+        while j + 1 < len(raw):
+            island, _is, ilen = raw[j]
+            nkind, _ns, nlen = raw[j + 1]
+            if island == "A" and ilen <= 4 and nkind == kind:
+                gap_len += nlen
+                end_idx = j + 1
+                j += 2
+            else:
+                break
+        span = sum(r[2] for r in raw[idx : end_idx + 1])
+        if gap_len >= min_gap and (best_run is None or gap_len > best_run[0]):
+            best_run = (span, start, kind)
+    if best_run is None:
+        return None
+    run_len, run_start, kind = best_run
+
+    # Flanks: aligned columns strictly before/after the run.
+    left = ops[:run_start]
+    right = ops[run_start + run_len :]
+    if _aligned_len(left) < min_flank or _aligned_len(right) < min_flank:
+        return None
+
+    outside = left + right
+    aligned_cols = sum(1 for c in outside if c in "MX")
+    matches = sum(1 for c in outside if c == "M")
+    gaps_outside = len(outside) - aligned_cols
+    denom = aligned_cols + gaps_outside
+    identity = matches / denom if denom else 0.0
+    if identity < min_identity:
+        return None
+
+    # Position of the run on EST a: count ops that consume a before it.
+    a_pos = a_start + sum(1 for c in ops[:run_start] if c in "MXD")
+    return SplicingEvent(
+        est_a=est_a,
+        est_b=est_b,
+        complemented=complemented,
+        gap_length=run_len,
+        gap_in="a" if kind == "I" else "b",
+        a_position=a_pos,
+        identity_outside_gap=identity,
+    )
+
+
+def _aligned_len(ops: str) -> int:
+    return sum(1 for c in ops if c in "MX")

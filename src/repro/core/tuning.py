@@ -1,0 +1,120 @@
+"""Acceptance-threshold tuning (§4.1's calibration procedure).
+
+"The results are based on the choice of quality threshold experimentally
+found to result in the least number of false positives and false
+negatives."  This module reproduces that procedure as a first-class
+utility: sweep the score-ratio acceptance threshold over a labelled
+(or synthetic) calibration set and pick the setting minimising FP + FN.
+
+The sweep is cheap because clustering need not be re-run per threshold:
+every candidate pair is aligned **once** with the most permissive setting
+and its score ratio recorded; for any threshold the accepted-pair graph
+is then a filter over that record, and the partition is its connected
+components (the same order-independence property the engine-parity tests
+rely on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.align.extend import PairAligner
+from repro.align.scoring import AcceptanceCriteria
+from repro.cluster.union_find import UnionFind
+from repro.core.config import ClusteringConfig
+from repro.metrics.confusion import pair_confusion
+from repro.metrics.quality import QualityReport, quality_metrics
+from repro.pairs.sa_generator import SaPairGenerator
+from repro.sequence.collection import EstCollection
+from repro.suffix.gst import SuffixArrayGst
+
+__all__ = ["ThresholdPoint", "TuningResult", "tune_acceptance"]
+
+
+@dataclass(frozen=True)
+class ThresholdPoint:
+    """Quality at one candidate threshold."""
+
+    min_score_ratio: float
+    report: QualityReport
+
+    @property
+    def fp_plus_fn(self) -> int:
+        return self.report.confusion.fp + self.report.confusion.fn
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """The full sweep and the paper-rule winner (min FP+FN, ties broken
+    toward the stricter threshold — fewer false merges)."""
+
+    points: tuple[ThresholdPoint, ...]
+    best: ThresholdPoint
+
+    def as_criteria(self, min_overlap: int = 40) -> AcceptanceCriteria:
+        return AcceptanceCriteria(
+            min_score_ratio=self.best.min_score_ratio, min_overlap=min_overlap
+        )
+
+
+def tune_acceptance(
+    collection: EstCollection,
+    true_labels: list[int],
+    *,
+    config: ClusteringConfig | None = None,
+    ratios: list[float] | None = None,
+    gst: SuffixArrayGst | None = None,
+) -> TuningResult:
+    """Sweep ``min_score_ratio`` against a labelled calibration set.
+
+    Parameters
+    ----------
+    true_labels:
+        Correct cluster label per EST (e.g. from a synthetic benchmark or
+        a genome-mapped subset, as the paper used the sequenced
+        Arabidopsis genome).
+    ratios:
+        Candidate thresholds, default 0.50..0.95 in steps of 0.05.
+    """
+    config = config or ClusteringConfig()
+    if len(true_labels) != collection.n_ests:
+        raise ValueError(
+            f"{len(true_labels)} labels for {collection.n_ests} ESTs"
+        )
+    ratios = sorted(ratios or [0.50 + 0.05 * k for k in range(10)])
+
+    gst = gst or SuffixArrayGst.build(collection)
+    generator = SaPairGenerator(gst, psi=config.psi)
+    # Align every distinct candidate pair once at the permissive floor.
+    floor = AcceptanceCriteria(
+        min_score_ratio=ratios[0], min_overlap=config.acceptance.min_overlap
+    )
+    aligner = PairAligner(
+        collection,
+        params=config.scoring,
+        criteria=floor,
+        band_policy=config.band_policy,
+        use_seed_extension=config.use_seed_extension,
+    )
+    scored: dict[tuple[int, int, bool], float] = {}
+    overlaps: dict[tuple[int, int, bool], int] = {}
+    for pair in generator.pairs():
+        if pair.key in scored:
+            continue
+        result = aligner.align_pair(pair)
+        scored[pair.key] = result.score_ratio(config.scoring)
+        overlaps[pair.key] = result.overlap_len
+
+    points = []
+    n = collection.n_ests
+    for ratio in ratios:
+        uf = UnionFind(n)
+        for (i, j, _orient), r in scored.items():
+            if r >= ratio and overlaps[(i, j, _orient)] >= config.acceptance.min_overlap:
+                uf.union(i, j)
+        labels = [uf.find(i) for i in range(n)]
+        report = quality_metrics(pair_confusion(labels, true_labels))
+        points.append(ThresholdPoint(min_score_ratio=ratio, report=report))
+
+    best = min(points, key=lambda p: (p.fp_plus_fn, -p.min_score_ratio))
+    return TuningResult(points=tuple(points), best=best)

@@ -1,0 +1,20 @@
+"""Quality assessment (OQ/OV/UN/CC over pairwise confusion, §4.1) and the
+element-count memory accounting behind the paper's space claims."""
+
+from repro.metrics.confusion import PairConfusion, labels_from_clusters, pair_confusion
+from repro.metrics.heuristic import SeedLengthBin, seed_length_acceptance
+from repro.metrics.memory import MemoryLedger, MemoryModel
+from repro.metrics.quality import QualityReport, assess_clustering, quality_metrics
+
+__all__ = [
+    "PairConfusion",
+    "SeedLengthBin",
+    "seed_length_acceptance",
+    "labels_from_clusters",
+    "pair_confusion",
+    "MemoryLedger",
+    "MemoryModel",
+    "QualityReport",
+    "assess_clustering",
+    "quality_metrics",
+]

@@ -1,0 +1,97 @@
+"""Pairwise confusion counts between two clusterings (§4.1).
+
+The paper assesses quality by treating a clustering as the set of
+*intra-cluster EST pairs* it implies: a pair in the output clustering is a
+true positive if the correct clustering also co-clusters it, a false
+positive otherwise; a co-clustered pair of the correct clustering missing
+from the output is a false negative, and everything else is a true
+negative.
+
+Enumerating pairs explicitly is quadratic in cluster sizes; instead the
+counts are computed from the contingency table of the two partitions:
+
+    TP = Σ_{p,t} C(|p ∩ t|, 2)        (co-clustered in both)
+    FP = Σ_p C(|p|, 2) − TP
+    FN = Σ_t C(|t|, 2) − TP
+    TN = C(n, 2) − TP − FP − FN
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["PairConfusion", "pair_confusion", "labels_from_clusters"]
+
+
+@dataclass(frozen=True)
+class PairConfusion:
+    """TP/FP/FN/TN over unordered EST pairs."""
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+    @property
+    def total_pairs(self) -> int:
+        return self.tp + self.fp + self.fn + self.tn
+
+
+def _choose2(k: int) -> int:
+    return k * (k - 1) // 2
+
+
+def labels_from_clusters(clusters: Sequence[Sequence[int]], n: int) -> list[int]:
+    """Cluster label per element from an explicit partition of ``0..n-1``."""
+    labels = [-1] * n
+    for cid, members in enumerate(clusters):
+        for x in members:
+            if not 0 <= x < n:
+                raise ValueError(f"element {x} outside 0..{n - 1}")
+            if labels[x] != -1:
+                raise ValueError(f"element {x} appears in two clusters")
+            labels[x] = cid
+    missing = [i for i, l in enumerate(labels) if l == -1]
+    if missing:
+        raise ValueError(f"elements missing from the partition: {missing[:5]}...")
+    return labels
+
+
+def pair_confusion(
+    predicted: Sequence[int] | Sequence[Sequence[int]],
+    truth: Sequence[int] | Sequence[Sequence[int]],
+    n: int | None = None,
+) -> PairConfusion:
+    """Confusion counts between predicted and true clusterings.
+
+    Both arguments may be label vectors (one label per EST) or explicit
+    partitions (lists of clusters); mixed forms are fine.
+    """
+    pred_labels = _as_labels(predicted, n)
+    true_labels = _as_labels(truth, n if n is not None else len(pred_labels))
+    if len(pred_labels) != len(true_labels):
+        raise ValueError(
+            f"clusterings cover different universes: "
+            f"{len(pred_labels)} vs {len(true_labels)} elements"
+        )
+    n_elems = len(pred_labels)
+
+    joint = Counter(zip(pred_labels, true_labels))
+    pred_sizes = Counter(pred_labels)
+    true_sizes = Counter(true_labels)
+
+    tp = sum(_choose2(c) for c in joint.values())
+    fp = sum(_choose2(c) for c in pred_sizes.values()) - tp
+    fn = sum(_choose2(c) for c in true_sizes.values()) - tp
+    tn = _choose2(n_elems) - tp - fp - fn
+    return PairConfusion(tp=tp, fp=fp, fn=fn, tn=tn)
+
+
+def _as_labels(clustering, n: int | None) -> list[int]:
+    seq = list(clustering)
+    if seq and isinstance(seq[0], (list, tuple)):
+        size = n if n is not None else sum(len(c) for c in seq)
+        return labels_from_clusters(seq, size)
+    return [int(v) for v in seq]

@@ -1,0 +1,96 @@
+"""Validation of the paper's central heuristic (§2).
+
+PaCE generates pairs "in decreasing order of probability of strong
+overlap", using "length of a maximal common substring of pairs as the
+metric for predicting strongly overlapping pairs".  That is an empirical
+premise: longer exact seeds should predict alignment acceptance.
+
+:func:`seed_length_acceptance` measures the premise directly: align every
+distinct candidate pair of a collection (no skipping, so the measurement
+is unconditional) and bin acceptance rate by seed length.  A monotone
+curve is what justifies both the decreasing-depth generation order and
+the ψ cutoff; the bench regenerating it lives in
+``benchmarks/bench_heuristic.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.align.extend import PairAligner
+from repro.core.config import ClusteringConfig
+from repro.pairs.sa_generator import SaPairGenerator
+from repro.sequence.collection import EstCollection
+from repro.suffix.gst import SuffixArrayGst
+
+__all__ = ["SeedLengthBin", "seed_length_acceptance"]
+
+
+@dataclass(frozen=True)
+class SeedLengthBin:
+    """Acceptance statistics for one seed-length bin [lo, hi)."""
+
+    lo: int
+    hi: int
+    n_pairs: int
+    n_accepted: int
+    mean_ratio: float
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.n_accepted / self.n_pairs if self.n_pairs else 0.0
+
+
+def seed_length_acceptance(
+    collection: EstCollection,
+    *,
+    config: ClusteringConfig | None = None,
+    bin_width: int = 10,
+    gst: SuffixArrayGst | None = None,
+    max_pairs: int | None = None,
+) -> list[SeedLengthBin]:
+    """Acceptance rate as a function of maximal-common-substring length.
+
+    Each distinct pair is aligned once from its *longest* seed (the first
+    witness in the decreasing-depth stream).  Returns non-empty bins in
+    increasing seed-length order.
+    """
+    config = config or ClusteringConfig()
+    gst = gst or SuffixArrayGst.build(collection)
+    generator = SaPairGenerator(gst, psi=config.psi)
+    aligner = PairAligner(
+        collection,
+        params=config.scoring,
+        criteria=config.acceptance,
+        band_policy=config.band_policy,
+        use_seed_extension=config.use_seed_extension,
+        engine=config.align_engine,
+    )
+
+    samples: list[tuple[int, bool, float]] = []
+    seen: set[tuple[int, int, bool]] = set()
+    for pair in generator.pairs():
+        if pair.key in seen:
+            continue
+        seen.add(pair.key)
+        result, accepted = aligner.align_and_decide(pair)
+        samples.append((pair.length, accepted, result.score_ratio(config.scoring)))
+        if max_pairs is not None and len(samples) >= max_pairs:
+            break
+
+    bins: dict[int, list[tuple[bool, float]]] = {}
+    for length, accepted, ratio in samples:
+        bins.setdefault(length // bin_width, []).append((accepted, ratio))
+    out = []
+    for b in sorted(bins):
+        entries = bins[b]
+        out.append(
+            SeedLengthBin(
+                lo=b * bin_width,
+                hi=(b + 1) * bin_width,
+                n_pairs=len(entries),
+                n_accepted=sum(1 for a, _r in entries if a),
+                mean_ratio=sum(r for _a, r in entries) / len(entries),
+            )
+        )
+    return out

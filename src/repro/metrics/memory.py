@@ -1,0 +1,69 @@
+"""Memory accounting in *elements*, the unit of the paper's space claims.
+
+The paper's Table 1 'X' entries mark tools whose promising-pair phase
+outgrew 512 MB; its §3.2 argument is that lsets total O(N) entries.  To
+reproduce those statements without depending on CPython allocator details,
+this module counts data-structure elements (pairs buffered, lset entries,
+suffixes stored) and converts to bytes with explicit per-element sizes,
+the way one sizes a C implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MemoryModel", "MemoryLedger"]
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Bytes per element for the C-equivalent data structures."""
+
+    bytes_per_pair: int = 16  # two string ids + two offsets (packed)
+    bytes_per_lset_entry: int = 12  # string id + offset + next pointer
+    bytes_per_tree_node: int = 16  # depth + rightmost-leaf + payload slot
+    bytes_per_suffix: int = 8  # string id + offset
+    bytes_per_char: int = 1
+
+
+@dataclass
+class MemoryLedger:
+    """High-water-mark tracking of element counts by category."""
+
+    model: MemoryModel = field(default_factory=MemoryModel)
+    current: dict[str, int] = field(default_factory=dict)
+    peak: dict[str, int] = field(default_factory=dict)
+
+    def add(self, category: str, count: int = 1) -> None:
+        cur = self.current.get(category, 0) + count
+        self.current[category] = cur
+        if cur > self.peak.get(category, 0):
+            self.peak[category] = cur
+
+    def remove(self, category: str, count: int = 1) -> None:
+        cur = self.current.get(category, 0) - count
+        if cur < 0:
+            raise ValueError(f"negative count for {category!r}")
+        self.current[category] = cur
+
+    def set_peak(self, category: str, count: int) -> None:
+        """Record an externally-computed high-water mark."""
+        if count > self.peak.get(category, 0):
+            self.peak[category] = count
+
+    def peak_bytes(self) -> int:
+        """Total peak footprint under the C-equivalent model."""
+        sizes = {
+            "pairs": self.model.bytes_per_pair,
+            "lset_entries": self.model.bytes_per_lset_entry,
+            "tree_nodes": self.model.bytes_per_tree_node,
+            "suffixes": self.model.bytes_per_suffix,
+            "chars": self.model.bytes_per_char,
+        }
+        total = 0
+        for category, count in self.peak.items():
+            total += count * sizes.get(category, 8)
+        return total
+
+    def peak_megabytes(self) -> float:
+        return self.peak_bytes() / (1024 * 1024)

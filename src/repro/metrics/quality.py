@@ -1,0 +1,78 @@
+"""The paper's quality metrics: OQ, OV, UN and CC (§4.1, Table 2).
+
+Given pairwise confusion counts between an output clustering and the
+correct clustering:
+
+- overlap quality      OQ = TP / (TP + FP + FN)
+- over-prediction      OV = FP / (TP + FP)
+- under-prediction     UN = FN / (TP + FN)
+- correlation coeff.   CC = (TP·TN − FP·FN) /
+                            sqrt((TP+FP)(TN+FN)(TP+FN)(TN+FP))
+
+Ideally OQ = CC = 100% and OV = UN = 0%.  All four are reported as
+percentages to match Table 2's formatting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.metrics.confusion import PairConfusion, pair_confusion
+
+__all__ = ["QualityReport", "quality_metrics", "assess_clustering"]
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """OQ/OV/UN/CC in percent, plus the raw confusion counts."""
+
+    oq: float
+    ov: float
+    un: float
+    cc: float
+    confusion: PairConfusion
+
+    def as_row(self) -> list[float]:
+        """One column of Table 2: [OQ, OV, UN, CC]."""
+        return [self.oq, self.ov, self.un, self.cc]
+
+    def __str__(self) -> str:
+        return (
+            f"OQ={self.oq:.2f}% OV={self.ov:.2f}% UN={self.un:.2f}% CC={self.cc:.2f}%"
+        )
+
+
+def quality_metrics(confusion: PairConfusion) -> QualityReport:
+    """Compute the four metrics from confusion counts.
+
+    Degenerate denominators (no positive pairs anywhere, etc.) yield the
+    metric's ideal value when the clustering is trivially perfect and 0
+    otherwise, so single-EST edge cases don't crash reports.
+    """
+    tp, fp, fn, tn = confusion.tp, confusion.fp, confusion.fn, confusion.tn
+
+    oq_den = tp + fp + fn
+    oq = 100.0 * tp / oq_den if oq_den else 100.0
+
+    ov_den = tp + fp
+    ov = 100.0 * fp / ov_den if ov_den else 0.0
+
+    un_den = tp + fn
+    un = 100.0 * fn / un_den if un_den else 0.0
+
+    cc_den = (tp + fp) * (tn + fn) * (tp + fn) * (tn + fp)
+    if cc_den:
+        cc = 100.0 * (tp * tn - fp * fn) / math.sqrt(cc_den)
+    else:
+        cc = 100.0 if fp == 0 and fn == 0 else 0.0
+
+    return QualityReport(oq=oq, ov=ov, un=un, cc=cc, confusion=confusion)
+
+
+def assess_clustering(
+    predicted: Sequence, truth: Sequence, n: int | None = None
+) -> QualityReport:
+    """End-to-end: confusion + metrics between two clusterings."""
+    return quality_metrics(pair_confusion(predicted, truth, n))

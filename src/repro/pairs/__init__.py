@@ -1,0 +1,23 @@
+"""Promising-pair generation (the paper's Algorithm 1) over both GST
+backends, with the canonical pair record, duplicate-discard rules,
+on-demand batching, and a brute-force reference for property testing."""
+
+from repro.pairs.bruteforce import bruteforce_promising_pairs, maximal_common_substrings
+from repro.pairs.generator import TreePairGenerator
+from repro.pairs.lsets import Lsets, StringMarker
+from repro.pairs.ondemand import OnDemandPairGenerator
+from repro.pairs.pair import Pair, canonical_pair
+from repro.pairs.sa_generator import PairGenStats, SaPairGenerator
+
+__all__ = [
+    "bruteforce_promising_pairs",
+    "maximal_common_substrings",
+    "TreePairGenerator",
+    "Lsets",
+    "StringMarker",
+    "OnDemandPairGenerator",
+    "Pair",
+    "canonical_pair",
+    "PairGenStats",
+    "SaPairGenerator",
+]

@@ -1,0 +1,131 @@
+"""Paper-faithful Algorithm 1 over the DFS-array GST (Figure 3 of the paper).
+
+This generator is a transcription of the paper's ``GeneratePairs`` /
+``ProcessLeaf`` / ``ProcessInternalNode``:
+
+1. string-depths of all nodes are available from construction;
+2. nodes with string-depth ≥ ψ are sorted in decreasing string-depth
+   order (stable over a post-order enumeration so that the equal-depth
+   "ended-suffix" leaf child of a node is processed before the node);
+3. leaves compute their lsets from the leaf labels and emit
+   ``∪ lc_i × lc_j`` for ``c_i < c_j`` or ``c_i = c_j = λ``;
+4. internal nodes traverse their children's lsets eliminating duplicate
+   strings via the global mark array, emit cross products between
+   *different children* for ``c_i ≠ c_j`` or ``c_i = c_j = λ``, and take
+   per-class unions as their own lsets.
+
+Child enumeration deliberately goes through the DFS-array sibling-walk
+rules (:meth:`repro.suffix.dfs_array.DfsArrayTree.children`) so the paper's
+space-efficient representation is exercised rather than bypassed.
+
+This backend is the semantic reference; the production path is
+:class:`repro.pairs.sa_generator.SaPairGenerator`, validated against this
+one by the cross-backend tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.sequence.alphabet import LAMBDA
+from repro.pairs.lsets import Lsets, StringMarker
+from repro.pairs.pair import Pair, canonical_pair
+from repro.pairs.sa_generator import PairGenStats
+from repro.suffix.gst import NaiveGst
+
+__all__ = ["TreePairGenerator"]
+
+
+class TreePairGenerator:
+    """Generate promising pairs from the paper-faithful GST backend."""
+
+    def __init__(self, gst: NaiveGst, psi: int) -> None:
+        if psi < 1:
+            raise ValueError(f"psi must be >= 1, got {psi}")
+        if psi < gst.w:
+            raise ValueError(
+                f"psi ({psi}) below the bucket window w ({gst.w}): pairs whose "
+                f"maximal common substring is shorter than w are unrecoverable "
+                f"from the bucket forest (paper §3.1)"
+            )
+        self.gst = gst
+        self.psi = psi
+        self.stats = PairGenStats()
+
+    # ------------------------------------------------------------------ #
+
+    def pairs(self) -> Iterator[Pair]:
+        """Yield canonical pairs in decreasing maximal-substring length."""
+        tree = self.gst.tree
+        depth = tree.string_depth
+        psi = self.psi
+        stats = self.stats
+
+        # GeneratePairs steps 1-2: qualifying nodes in decreasing
+        # string-depth order.  Post-order enumeration + stable sort keeps
+        # equal-depth children (the ended-suffix leaf) before their parent.
+        nodes = [u for u in tree.iter_postorder() if depth[u] >= psi]
+        nodes.sort(key=lambda u: -int(depth[u]))
+
+        marker = StringMarker(self.gst.collection.n_strings)
+        store: dict[int, Lsets] = {}
+
+        for u in nodes:
+            stats.nodes_processed += 1
+            d = int(depth[u])
+            if tree.is_leaf(u):
+                lsets = Lsets()
+                for k, off in tree.leaf_suffixes(u):
+                    lsets.add(self.gst.left_extension(k, off), k, off)
+                yield from self._emit_leaf_products(lsets, d)
+            else:
+                lsets = Lsets()
+                for child in tree.children(u):
+                    child_lsets = store.pop(int(child))
+                    # ProcessInternalNode step 1: duplicate elimination.
+                    for c in range(5):
+                        child_lsets.classes[c] = [
+                            (s, off)
+                            for (s, off) in child_lsets.classes[c]
+                            if marker.fresh(s, u)
+                        ]
+                    # Step 2: products against all previous children.
+                    for cj in range(5):
+                        for s2, off2 in child_lsets.classes[cj]:
+                            for ci in range(5):
+                                if ci != cj or ci == LAMBDA:
+                                    for s1, off1 in lsets.classes[ci]:
+                                        yield from self._emit(d, s1, off1, s2, off2)
+                    # Step 3: union per class.
+                    lsets.merge(child_lsets)
+
+            live = sum(ls.total() for ls in store.values()) + lsets.total()
+            if live > stats.peak_lset_entries:
+                stats.peak_lset_entries = live
+
+            parent = int(tree.parent[u])
+            if parent >= 0 and depth[parent] >= psi:
+                store[u] = lsets
+            # else: parent outside the ψ-forest — lsets discarded here.
+
+    def _emit_leaf_products(self, lsets: Lsets, d: int) -> Iterator[Pair]:
+        """ProcessLeaf: lc_i × lc_j for c_i < c_j, plus pairs within lλ."""
+        for ci in range(5):
+            for cj in range(ci + 1, 5):
+                for s1, off1 in lsets.classes[ci]:
+                    for s2, off2 in lsets.classes[cj]:
+                        yield from self._emit(d, s1, off1, s2, off2)
+        lam = lsets.classes[LAMBDA]
+        for a in range(len(lam)):
+            for b in range(a + 1, len(lam)):
+                yield from self._emit(d, lam[a][0], lam[a][1], lam[b][0], lam[b][1])
+
+    def _emit(self, d: int, s1: int, off1: int, s2: int, off2: int) -> Iterator[Pair]:
+        self.stats.raw_pairs += 1
+        pair = canonical_pair(d, s1, off1, s2, off2)
+        if pair is not None:
+            self.stats.pairs_generated += 1
+            yield pair
+
+    def __iter__(self) -> Iterator[Pair]:
+        return self.pairs()

@@ -1,0 +1,87 @@
+"""lsets: the per-node leaf-set partitions of Algorithm 1 (§3.2).
+
+``leaf-set(v)`` is the set of strings with a suffix in ``subtree(v)``; it
+is partitioned into the five classes lA, lC, lG, lT, lλ according to the
+left-extension character of (one of) the witnessing suffixes.  The class
+index is the nucleotide code, with λ = 4 (:data:`repro.sequence.alphabet.LAMBDA`).
+
+Two cooperating pieces live here:
+
+- :class:`Lsets` — one node's five lists of entries, each entry carrying
+  the witnessing suffix ``(string, offset)`` so downstream alignment can
+  seed from it.  Merging is list concatenation; the production generator
+  bounds total space by giving every suffix exactly one entry for its whole
+  life (the paper's O(N) lset-space argument).
+- :class:`StringMarker` — the paper's "global array of size 2n indexed by
+  string identifiers": duplicate occurrences of a string across the lsets
+  of a node's children are eliminated by marking the array entry with the
+  id of the node being processed, in time proportional to the entries
+  visited.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sequence.alphabet import LAMBDA
+
+__all__ = ["Lsets", "StringMarker", "N_CLASSES"]
+
+#: lA, lC, lG, lT, lλ.
+N_CLASSES = LAMBDA + 1
+
+
+class Lsets:
+    """The five left-extension classes of one node (or one child slot)."""
+
+    __slots__ = ("classes",)
+
+    def __init__(self) -> None:
+        self.classes: list[list[tuple[int, int]]] = [[] for _ in range(N_CLASSES)]
+
+    def add(self, char: int, string: int, offset: int) -> None:
+        self.classes[char].append((string, offset))
+
+    def merge(self, other: "Lsets") -> None:
+        """Union per class (Step 3 of ProcessInternalNode)."""
+        for c in range(N_CLASSES):
+            self.classes[c].extend(other.classes[c])
+
+    def total(self) -> int:
+        return sum(len(cls) for cls in self.classes)
+
+    def strings(self) -> set[int]:
+        return {s for cls in self.classes for (s, _off) in cls}
+
+    def __iter__(self):
+        """Yield ``(char, string, offset)`` over all classes in order."""
+        for c in range(N_CLASSES):
+            for s, off in self.classes[c]:
+                yield c, s, off
+
+
+class StringMarker:
+    """The global 2n-sized mark array used for duplicate elimination.
+
+    ``fresh(string, node)`` returns True the first time ``string`` is seen
+    while processing ``node`` and False afterwards; switching nodes resets
+    implicitly because marks store the node id.
+    """
+
+    __slots__ = ("marks",)
+
+    def __init__(self, n_strings: int) -> None:
+        self.marks = np.full(n_strings, -1, dtype=np.int64)
+
+    def fresh(self, string: int, node: int) -> bool:
+        if self.marks[string] == node:
+            return False
+        self.marks[string] = node
+        return True
+
+
+def allowed_chars(c1: int, c2: int) -> bool:
+    """The internal-node class-compatibility rule: classes pair when their
+    left-extension characters differ, or both are λ (whole-string
+    suffixes, which cannot be left-extended at all)."""
+    return c1 != c2 or c1 == LAMBDA

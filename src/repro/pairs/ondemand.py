@@ -1,0 +1,61 @@
+"""On-demand batched pair production (§2: "our algorithm remembers its
+state and produces the next set of pairs on demand").
+
+Both pair generators are lazy Python generators, so "remembered state" is
+the suspended generator frame.  :class:`OnDemandPairGenerator` packages
+that into the batch-oriented interface the clustering drivers and the
+slave protocol consume: ``next_batch(k)`` returns up to ``k`` fresh pairs
+and ``exhausted`` reports end-of-stream, mirroring a slave processor
+"running out of pairs" and turning passive (§3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.pairs.pair import Pair
+
+__all__ = ["OnDemandPairGenerator"]
+
+
+class OnDemandPairGenerator:
+    """Pull-based batching wrapper around a lazy pair stream."""
+
+    def __init__(self, pair_stream: Iterable[Pair]) -> None:
+        self._it: Iterator[Pair] = iter(pair_stream)
+        self._exhausted = False
+        self._produced = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the underlying stream has ended (a passive slave)."""
+        return self._exhausted
+
+    @property
+    def produced(self) -> int:
+        """Total pairs handed out so far."""
+        return self._produced
+
+    def next_batch(self, k: int) -> list[Pair]:
+        """Up to ``k`` further pairs (fewer only at end of stream)."""
+        if k < 0:
+            raise ValueError(f"batch size must be >= 0, got {k}")
+        batch: list[Pair] = []
+        while len(batch) < k and not self._exhausted:
+            try:
+                batch.append(next(self._it))
+            except StopIteration:
+                self._exhausted = True
+        self._produced += len(batch)
+        return batch
+
+    def __iter__(self) -> Iterator[Pair]:
+        """Drain the remainder of the stream."""
+        while not self._exhausted:
+            try:
+                item = next(self._it)
+            except StopIteration:
+                self._exhausted = True
+                return
+            self._produced += 1
+            yield item

@@ -1,0 +1,75 @@
+"""The promising-pair record and the paper's duplicate-discard rule.
+
+A *promising pair* is a pair of strings with a maximal common substring of
+length ≥ ψ (§3.2).  Generators emit pairs in the canonical form of the
+paper: ``(s, s')`` where ``s = e_i`` is a *forward* EST and ``s'`` is
+``e_j`` or its reverse complement for some ``i < j``.  A raw pair whose
+smaller-EST-id member is complemented is discarded — its mirror image
+``(ē_i, ē_j)``-style pair is generated elsewhere in the tree, so exactly
+one of the two equivalent forms survives (the factor-2 argument in the
+paper's Lemma 4).  Pairs of a string with its own reverse complement are
+likewise dropped: they cannot merge clusters.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+__all__ = ["Pair", "canonical_pair"]
+
+
+class Pair(NamedTuple):
+    """A promising pair with its witnessing exact match (the seed).
+
+    ``string_a`` is always a forward string (even index) and
+    ``est_a < est_b``.  The seed is the maximal common substring at whose
+    GST node the pair was generated:
+    ``strings[string_a][offset_a : offset_a+length] ==
+    strings[string_b][offset_b : offset_b+length]``.
+    The alignment phase extends this seed in both directions (Fig. 5a).
+    """
+
+    length: int
+    string_a: int
+    offset_a: int
+    string_b: int
+    offset_b: int
+
+    @property
+    def est_a(self) -> int:
+        return self.string_a >> 1
+
+    @property
+    def est_b(self) -> int:
+        return self.string_b >> 1
+
+    @property
+    def complemented(self) -> bool:
+        """True when the pair couples EST a with the *reverse complement*
+        of EST b (the two ESTs read opposite strands)."""
+        return bool(self.string_b & 1)
+
+    @property
+    def key(self) -> tuple[int, int, bool]:
+        """Identity of the pair irrespective of the witnessing seed."""
+        return (self.est_a, self.est_b, self.complemented)
+
+
+def canonical_pair(
+    length: int, string_a: int, offset_a: int, string_b: int, offset_b: int
+) -> Pair | None:
+    """Apply the paper's discard rules to a raw generated pair.
+
+    Returns the canonical :class:`Pair`, or ``None`` when the pair must be
+    discarded (same EST on both sides, or the smaller-EST-id string is in
+    complemented form — the mirror event is generated at another node).
+    """
+    est_a, est_b = string_a >> 1, string_b >> 1
+    if est_a == est_b:
+        return None
+    if est_a > est_b:
+        string_a, string_b = string_b, string_a
+        offset_a, offset_b = offset_b, offset_a
+    if string_a & 1:
+        return None
+    return Pair(length, string_a, offset_a, string_b, offset_b)

@@ -1,0 +1,214 @@
+"""Promising-pair generation over the suffix-array engine.
+
+This is Algorithm 1 of the paper executed over LCP-interval forests instead
+of explicit tree nodes.  The translation is exact:
+
+- an LCP interval of depth d *is* the GST node with string-depth d;
+- a suffix-array rank directly attached to a node (not covered by a child
+  interval) *is* a leaf child of that node;
+- the paper's multi-string leaves (identical suffixes of different strings)
+  appear here as a node at depth = suffix length whose children are
+  singleton ranks distinguished by their unique sentinels — the paper's
+  separate ProcessLeaf rule (c_i < c_j or both λ) and the internal-node
+  rule (different children, c_i ≠ c_j or both λ) coincide on this shape,
+  so a single uniform rule suffices (see tests/test_cross_backend.py for
+  the machine-checked equivalence with the paper-faithful backend).
+
+Nodes are processed in decreasing string-depth order; at each node the
+children's lsets are traversed to drop duplicate string occurrences (the
+global mark array of §3.2), cartesian products between *compatible classes
+of different child slots* are emitted, and the surviving entries become the
+node's lsets by concatenation.  Every suffix therefore owns exactly one
+lset entry for its entire life, keeping lset space linear in the input —
+the paper's central space claim.
+
+The generator is lazy (a true Python generator), which is what
+"on-demand" means operationally: batches are pulled by the driver or the
+slave protocol, and generation state is simply the suspended frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.sequence.alphabet import LAMBDA
+from repro.pairs.lsets import N_CLASSES
+from repro.pairs.pair import Pair, canonical_pair
+from repro.suffix.gst import SuffixArrayGst
+from repro.suffix.interval_tree import LcpForest
+
+__all__ = ["SaPairGenerator", "PairGenStats"]
+
+
+@dataclass
+class PairGenStats:
+    """Counters reported by a generator (feeds Fig. 7's 'pairs generated')."""
+
+    nodes_processed: int = 0
+    raw_pairs: int = 0  # cross-product events before the discard rules
+    pairs_generated: int = 0  # canonical pairs actually emitted
+    peak_lset_entries: int = 0  # live lset entries high-water mark (O(N) claim)
+    _live_entries: int = field(default=0, repr=False)
+
+
+class SaPairGenerator:
+    """Generate promising pairs for (a subset of) the suffix array.
+
+    Parameters
+    ----------
+    gst:
+        The built :class:`~repro.suffix.gst.SuffixArrayGst`.
+    psi:
+        Threshold ψ: only maximal common substrings of length ≥ ψ produce
+        pairs.
+    ranges:
+        Optional list of suffix-array rank ranges ``(lo, hi)`` — the
+        buckets owned by one processor.  ``None`` means the whole array
+        (the sequential driver).  Nodes across all owned ranges are merged
+        into a single decreasing-depth order, matching the paper's
+        slave-local sort (§3.2 closing paragraph: the greedy order is
+        maintained per processor, not globally).
+    """
+
+    def __init__(
+        self,
+        gst: SuffixArrayGst,
+        psi: int,
+        ranges: list[tuple[int, int]] | None = None,
+    ) -> None:
+        if psi < 1:
+            raise ValueError(f"psi must be >= 1, got {psi}")
+        self.gst = gst
+        self.psi = psi
+        self.ranges = ranges
+        self.stats = PairGenStats()
+        self._forests: list[LcpForest] = []
+        if ranges is None:
+            self._forests.append(gst.forest(min_depth=psi))
+        else:
+            for lo, hi in ranges:
+                if hi > lo:
+                    self._forests.append(gst.forest(min_depth=psi, lo=lo, hi=hi))
+
+    # ------------------------------------------------------------------ #
+
+    def pairs(self) -> Iterator[Pair]:
+        """Yield canonical pairs in decreasing maximal-substring length."""
+        gst = self.gst
+        # Plain-list views: element access on Python lists is several times
+        # faster than numpy scalar indexing, and this loop is pure Python.
+        sa = gst.sa_struct.sa.tolist()
+        pos_string = gst.pos_string.tolist()
+        pos_offset = gst.pos_offset.tolist()
+        left_char = gst.left_char.tolist()
+        stats = self.stats
+
+        # Global processing order: all nodes of all owned forests by
+        # decreasing depth (children always strictly deeper than parents,
+        # so bottom-up lset flow is respected within each forest).
+        order: list[tuple[int, int, int]] = []  # (-depth, forest_idx, node)
+        for f_idx, forest in enumerate(self._forests):
+            depths = forest.depth
+            for nid in range(forest.n_nodes):
+                order.append((-int(depths[nid]), f_idx, nid))
+        order.sort()
+
+        # marks[string] = uid of the node currently deduplicating it.
+        marks = [-1] * gst.collection.n_strings
+        # Stored lsets of processed nodes awaiting their parent:
+        # (forest_idx, node) -> list of N_CLASSES entry lists (entries are
+        # suffix-array ranks).
+        store: dict[tuple[int, int], list[list[int]]] = {}
+
+        for uid, (neg_depth, f_idx, nid) in enumerate(order):
+            depth = -neg_depth
+            forest = self._forests[f_idx]
+            stats.nodes_processed += 1
+
+            # Child slots in left-to-right (lb) order: child nodes
+            # interleaved with directly-attached leaf ranks.
+            slots: list[list[list[int]] | int] = []
+            kids = forest.children[nid]
+            leaves = forest.leaves[nid]
+            ki = li = 0
+            while ki < len(kids) or li < len(leaves):
+                if li >= len(leaves) or (
+                    ki < len(kids) and forest.lb[kids[ki]] < leaves[li]
+                ):
+                    slots.append(store.pop((f_idx, kids[ki])))
+                    ki += 1
+                else:
+                    slots.append(leaves[li])
+                    li += 1
+
+            accum: list[list[int]] = [[] for _ in range(N_CLASSES)]
+            for slot in slots:
+                if isinstance(slot, int):
+                    # A leaf child: one suffix, its own child slot.
+                    p = sa[slot]
+                    kept: list[list[int]] = [[] for _ in range(N_CLASSES)]
+                    s = pos_string[p]
+                    if marks[s] != uid:
+                        marks[s] = uid
+                        cj = left_char[p]
+                        for ci in range(N_CLASSES):
+                            if ci != cj or ci == LAMBDA:
+                                for r1 in accum[ci]:
+                                    stats.raw_pairs += 1
+                                    p1 = sa[r1]
+                                    pair = canonical_pair(
+                                        depth,
+                                        pos_string[p1],
+                                        pos_offset[p1],
+                                        s,
+                                        pos_offset[p],
+                                    )
+                                    if pair is not None:
+                                        stats.pairs_generated += 1
+                                        yield pair
+                        kept[cj].append(slot)
+                        stats._live_entries += 1
+                else:
+                    kept = [[] for _ in range(N_CLASSES)]
+                    for cj in range(N_CLASSES):
+                        for r in slot[cj]:
+                            p = sa[r]
+                            s = pos_string[p]
+                            if marks[s] == uid:
+                                stats._live_entries -= 1
+                                continue
+                            marks[s] = uid
+                            for ci in range(N_CLASSES):
+                                if ci != cj or ci == LAMBDA:
+                                    for r1 in accum[ci]:
+                                        stats.raw_pairs += 1
+                                        p1 = sa[r1]
+                                        pair = canonical_pair(
+                                            depth,
+                                            pos_string[p1],
+                                            pos_offset[p1],
+                                            s,
+                                            pos_offset[p],
+                                        )
+                                        if pair is not None:
+                                            stats.pairs_generated += 1
+                                            yield pair
+                            kept[cj].append(r)
+                # Entries of one slot never pair with each other (they share
+                # a deeper common prefix and were handled in the subtree),
+                # so the slot merges into the accumulator only afterwards.
+                for c in range(N_CLASSES):
+                    accum[c].extend(kept[c])
+
+            if stats._live_entries > stats.peak_lset_entries:
+                stats.peak_lset_entries = stats._live_entries
+
+            if forest.parent[nid] >= 0:
+                store[(f_idx, nid)] = accum
+            else:
+                # Forest root: the parent's depth is below ψ, lsets die here.
+                stats._live_entries -= sum(len(c) for c in accum)
+
+    def __iter__(self) -> Iterator[Pair]:
+        return self.pairs()

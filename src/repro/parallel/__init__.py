@@ -1,0 +1,29 @@
+"""Parallel clustering: the master-slave protocol of §3.3 executed either
+on a deterministic discrete-event simulated multiprocessor (scaling
+studies) or on real OS processes (functional parallelism)."""
+
+from repro.parallel.cost_model import CostModel
+from repro.parallel.mp_backend import cluster_multiprocessing
+from repro.parallel.partition import BucketAssignment, assign_buckets
+from repro.parallel.protocol import MasterLogic, MasterMsg, SlaveLogic, SlaveMsg
+from repro.parallel.runtime import run_parallel, simulate_clustering
+from repro.parallel.sim_machine import SimulatedMachine, SimulationReport
+from repro.parallel.trace import TraceRecorder, render_timeline, utilisation
+
+__all__ = [
+    "CostModel",
+    "cluster_multiprocessing",
+    "BucketAssignment",
+    "assign_buckets",
+    "MasterLogic",
+    "MasterMsg",
+    "SlaveLogic",
+    "SlaveMsg",
+    "run_parallel",
+    "simulate_clustering",
+    "SimulatedMachine",
+    "TraceRecorder",
+    "render_timeline",
+    "utilisation",
+    "SimulationReport",
+]

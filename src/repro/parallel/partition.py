@@ -1,0 +1,71 @@
+"""Distribution of suffix buckets across processors (§3.1).
+
+"The buckets are then distributed to the processors such that (1) all the
+suffixes in a bucket are allocated to the same processor and (2) the total
+number of suffixes in all the buckets allocated to a processor is as close
+to nl/p as possible."
+
+That is multiway number partitioning; the classic longest-processing-time
+greedy (largest bucket to the least-loaded processor) is the standard
+practical answer and what we implement.  The function reports the
+resulting imbalance so benchmarks can show how the window ``w`` trades
+bucket granularity against lost pairs (the paper's discussion of choosing
+``w``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+__all__ = ["BucketAssignment", "assign_buckets"]
+
+
+@dataclass(frozen=True)
+class BucketAssignment:
+    """Bucket → processor mapping for one run.
+
+    ``per_processor[k]`` lists ``(key, lo, hi)`` suffix-array ranges owned
+    by slave ``k``; ``loads[k]`` is its total suffix count.
+    """
+
+    per_processor: list[list[tuple[int, int, int]]]
+    loads: list[int]
+
+    @property
+    def n_processors(self) -> int:
+        return len(self.per_processor)
+
+    @property
+    def imbalance(self) -> float:
+        """max load / mean load (1.0 = perfect balance)."""
+        if not self.loads or sum(self.loads) == 0:
+            return 0.0
+        mean = sum(self.loads) / len(self.loads)
+        return max(self.loads) / mean if mean else 0.0
+
+
+def assign_buckets(
+    ranges: list[tuple[int, int, int]], n_processors: int
+) -> BucketAssignment:
+    """Greedy LPT assignment of ``(key, lo, hi)`` bucket ranges.
+
+    Buckets are placed largest-first onto the least-loaded processor,
+    ties broken by processor id (deterministic).
+    """
+    if n_processors < 1:
+        raise ValueError(f"need at least one processor, got {n_processors}")
+    per_processor: list[list[tuple[int, int, int]]] = [[] for _ in range(n_processors)]
+    loads = [0] * n_processors
+    heap = [(0, k) for k in range(n_processors)]
+    heapq.heapify(heap)
+    for key, lo, hi in sorted(ranges, key=lambda r: (-(r[2] - r[1]), r[0])):
+        load, k = heapq.heappop(heap)
+        per_processor[k].append((key, lo, hi))
+        load += hi - lo
+        loads[k] = load
+        heapq.heappush(heap, (load, k))
+    # Keep each processor's ranges in suffix-array order for determinism.
+    for k in range(n_processors):
+        per_processor[k].sort(key=lambda r: r[1])
+    return BucketAssignment(per_processor=per_processor, loads=loads)

@@ -1,0 +1,383 @@
+"""The master–slave clustering protocol (§3.3), engine-agnostic.
+
+:class:`MasterLogic` and :class:`SlaveLogic` implement the paper's
+protocol as pure state machines — one method call per message — so the
+same code runs unchanged under the discrete-event simulator
+(:mod:`repro.parallel.sim_machine`) and the real multiprocessing backend
+(:mod:`repro.parallel.mp_backend`).  The engines differ only in how they
+move messages and account time.
+
+Protocol recap (from the paper):
+
+- The master holds ``WORKBUF`` (pairs awaiting alignment, a bounded queue)
+  and ``CLUSTERS`` (union–find).  Each slave message carries R alignment
+  results and P promising pairs.  The master merges clusters for accepted
+  results, admits into WORKBUF only pairs whose ESTs are in different
+  clusters (count P′), then replies with W ≤ batchsize pairs of work and a
+  request for E further pairs, where ``E = min(α · δ · batchsize,
+  nfree / p)`` with ``α = P/P′`` and ``δ = p / active_slaves``.  A reply
+  with neither work nor a request is withheld and the slave parks on a
+  wait queue until work appears.
+- Each slave holds its local GST portion (the pair generator), ``PAIRBUF``
+  (generated pairs not yet shipped) and ``NEXTWORK`` (the next batch to
+  align).  It aligns NEXTWORK while the master's reply travels, so
+  communication is overlapped with computation; at bootstrap it generates
+  three batchsize portions — aligns the first, ships the third, keeps the
+  second as NEXTWORK.
+
+One pragmatic addition: each slave message carries
+``has_pending_results`` (it still holds an unreported NEXTWORK), which
+lets the master drain in-flight work before sending ``stop`` without
+guessing bootstrap portion sizes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.align.extend import PairAligner
+from repro.align.scoring import AlignmentResult
+from repro.cluster.manager import ClusterManager
+from repro.pairs.ondemand import OnDemandPairGenerator
+from repro.pairs.pair import Pair
+
+__all__ = ["SlaveMsg", "MasterMsg", "MasterLogic", "SlaveLogic"]
+
+
+@dataclass(frozen=True)
+class SlaveMsg:
+    """Slave → master: R results + P promising pairs."""
+
+    slave_id: int
+    results: tuple[tuple[Pair, AlignmentResult, bool], ...]
+    pairs: tuple[Pair, ...]
+    exhausted: bool  # generator dry and PAIRBUF empty (a passive slave)
+    has_pending_results: bool  # NEXTWORK non-empty at send time
+
+    @property
+    def n_results(self) -> int:
+        return len(self.results)
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.pairs)
+
+
+@dataclass(frozen=True)
+class MasterMsg:
+    """Master → slave: W pairs of work + request for E pairs (or stop)."""
+
+    work: tuple[Pair, ...]
+    request: int
+    stop: bool = False
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.work)
+
+
+@dataclass
+class MasterStats:
+    """Master-side accounting (feeds WorkCounters and the busy-fraction
+    measurement behind the paper's 'master is under 2% busy' claim)."""
+
+    messages: int = 0
+    results_received: int = 0
+    results_accepted: int = 0  # alignments strong enough to merge
+    pairs_offered: int = 0
+    pairs_admitted: int = 0  # Σ P′
+    pairs_dispatched: int = 0
+    merges: int = 0
+    workbuf_peak: int = 0
+
+
+class MasterLogic:
+    """The master processor's state machine."""
+
+    def __init__(
+        self,
+        n_ests: int,
+        n_slaves: int,
+        *,
+        batchsize: int,
+        workbuf_capacity: int,
+    ) -> None:
+        if n_slaves < 1:
+            raise ValueError("need at least one slave")
+        self.n_slaves = n_slaves
+        self.batchsize = batchsize
+        self.workbuf_capacity = workbuf_capacity
+        self.manager = ClusterManager(n_ests)
+        self.workbuf: deque[Pair] = deque()
+        self.passive: set[int] = set()
+        self.stopped: set[int] = set()
+        self.waiting: set[int] = set()
+        self.pending_results: dict[int, bool] = {}
+        self.stats = MasterStats()
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def active_slaves(self) -> int:
+        return self.n_slaves - len(self.passive)
+
+    @property
+    def nfree(self) -> int:
+        return self.workbuf_capacity - len(self.workbuf)
+
+    def finished(self) -> bool:
+        return len(self.stopped) == self.n_slaves
+
+    # ------------------------------------------------------------------ #
+
+    def on_message(self, msg: SlaveMsg) -> MasterMsg | None:
+        """Incorporate one slave message; return the reply, or ``None`` to
+        park the slave on the wait queue (reply later via
+        :meth:`drain_wait_queue`)."""
+        self.stats.messages += 1
+        self.pending_results[msg.slave_id] = msg.has_pending_results
+
+        # 1. Update CLUSTERS from the R results.
+        for pair, result, accepted in msg.results:
+            self.stats.results_received += 1
+            if accepted:
+                self.stats.results_accepted += 1
+                if not self.manager.same_cluster(pair.est_a, pair.est_b):
+                    self.manager.merge(pair, result)
+                    self.stats.merges += 1
+
+        # 2. Selectively admit offered pairs: only if the ESTs are in
+        #    different clusters (the P′ selection of §3.3).
+        # The E formula keeps inflow below nfree/p per slave, so overflow
+        # is at most transient; admission is never refused because a
+        # dropped pair could lose a merge witness (capacity is the *target*
+        # the request computation steers toward, as in §3.3).
+        admitted = 0
+        for pair in msg.pairs:
+            self.stats.pairs_offered += 1
+            if not self.manager.same_cluster(pair.est_a, pair.est_b):
+                self.workbuf.append(pair)
+                admitted += 1
+        self.stats.pairs_admitted += admitted
+        if len(self.workbuf) > self.stats.workbuf_peak:
+            self.stats.workbuf_peak = len(self.workbuf)
+
+        if msg.exhausted:
+            self.passive.add(msg.slave_id)
+
+        return self._reply_for(msg.slave_id, len(msg.pairs), admitted)
+
+    def _reply_for(self, slave_id: int, p: int, p_prime: int) -> MasterMsg | None:
+        # W: up to batchsize pairs of work.
+        w = min(self.batchsize, len(self.workbuf))
+        work = tuple(self.workbuf.popleft() for _ in range(w))
+        self.stats.pairs_dispatched += len(work)
+
+        # E: how many pairs to request next time.
+        e = self._compute_request(slave_id, p, p_prime)
+
+        if work or e > 0:
+            return MasterMsg(work=work, request=e)
+
+        # Nothing to give and nothing to ask for.
+        if self._all_done(slave_id):
+            self.stopped.add(slave_id)
+            return MasterMsg(work=(), request=0, stop=True)
+        self.waiting.add(slave_id)
+        return None
+
+    def _compute_request(self, slave_id: int, p: int, p_prime: int) -> int:
+        if slave_id in self.passive:
+            return 0
+        delta = self.n_slaves / max(1, self.active_slaves)
+        if p > 0:
+            alpha = p / p_prime if p_prime > 0 else float(self.n_slaves)
+        else:
+            # The slave offered nothing (bootstrap or a zero request last
+            # round): prime the flow with a plain δ·batchsize request.
+            alpha = 1.0
+        e = min(alpha * delta * self.batchsize, self.nfree / max(1, self.n_slaves))
+        return max(0, int(e))
+
+    def _all_done(self, slave_id: int) -> bool:
+        """May this slave be stopped outright?"""
+        if self.workbuf:
+            return False
+        if self.pending_results.get(slave_id, False):
+            return False
+        # Only safe when no pair can ever appear again: every slave passive.
+        return len(self.passive) == self.n_slaves
+
+    # ------------------------------------------------------------------ #
+
+    def drain_wait_queue(self) -> list[tuple[int, MasterMsg]]:
+        """Replies owed to wait-queued slaves, issued when work appeared or
+        global termination became decidable.  Call after every
+        :meth:`on_message`."""
+        replies: list[tuple[int, MasterMsg]] = []
+        for slave_id in sorted(self.waiting):
+            if self.workbuf:
+                self.waiting.discard(slave_id)
+                w = min(self.batchsize, len(self.workbuf))
+                work = tuple(self.workbuf.popleft() for _ in range(w))
+                self.stats.pairs_dispatched += len(work)
+                replies.append((slave_id, MasterMsg(work=work, request=0)))
+            elif len(self.passive) == self.n_slaves:
+                self.waiting.discard(slave_id)
+                if self.pending_results.get(slave_id, False):
+                    # Elicit the final results with an empty work message.
+                    replies.append((slave_id, MasterMsg(work=(), request=0)))
+                else:
+                    self.stopped.add(slave_id)
+                    replies.append((slave_id, MasterMsg(work=(), request=0, stop=True)))
+        return replies
+
+
+@dataclass
+class SlaveStepCosts:
+    """Work performed during one protocol step (for the cost model).
+
+    ``dp_cells`` is the work the selected host engine actually did;
+    ``model_cells`` is the banded-DP-equivalent work the simulated
+    machine charges virtual time for (identical when the banded engine
+    runs; the band area when the fast k-difference engine runs).
+    """
+
+    n_alignments: int = 0
+    dp_cells: int = 0
+    model_cells: int = 0
+    pairs_generated_blocking: int = 0
+
+
+class SlaveLogic:
+    """One slave processor's state machine."""
+
+    def __init__(
+        self,
+        slave_id: int,
+        generator: OnDemandPairGenerator,
+        aligner: PairAligner,
+        *,
+        batchsize: int,
+        pairbuf_capacity: int,
+    ) -> None:
+        self.slave_id = slave_id
+        self.generator = generator
+        self.aligner = aligner
+        self.batchsize = batchsize
+        self.pairbuf_capacity = pairbuf_capacity
+        self.pairbuf: deque[Pair] = deque()
+        self.nextwork: tuple[Pair, ...] = ()
+        self.done = False
+        self.last_costs = SlaveStepCosts()
+        self.total_alignments = 0
+        self.total_dp_cells = 0
+        self._aligned: tuple[tuple[Pair, AlignmentResult, bool], ...] | None = None
+        self._align_costs = SlaveStepCosts()
+
+    # ------------------------------------------------------------------ #
+
+    def bootstrap(self) -> SlaveMsg:
+        """The paper's three-portion start-up: align the first batchsize
+        portion, keep the second as NEXTWORK, ship the third."""
+        costs = SlaveStepCosts()
+        p1 = self.generator.next_batch(self.batchsize)
+        p2 = self.generator.next_batch(self.batchsize)
+        p3 = self.generator.next_batch(self.batchsize)
+        costs.pairs_generated_blocking += len(p1) + len(p2) + len(p3)
+        results = self._align_batch(p1, costs)
+        self.nextwork = tuple(p2)
+        self.last_costs = costs
+        return SlaveMsg(
+            slave_id=self.slave_id,
+            results=results,
+            pairs=tuple(p3),
+            exhausted=self.generator.exhausted and not self.pairbuf,
+            has_pending_results=bool(self.nextwork),
+        )
+
+    def align_pending(self) -> SlaveStepCosts:
+        """Align the current NEXTWORK (the work done while the master's
+        reply is in flight).  Idempotent per interaction; the engines call
+        it right after a send to learn its duration, :meth:`finish_step`
+        consumes the results."""
+        if self._aligned is None:
+            costs = SlaveStepCosts()
+            self._aligned = self._align_batch(list(self.nextwork), costs)
+            self._align_costs = costs
+        return self._align_costs
+
+    def step(self, reply: MasterMsg) -> SlaveMsg | None:
+        """One full interaction (used by the multiprocessing backend)."""
+        self.align_pending()
+        return self.finish_step(reply)
+
+    def finish_step(self, reply: MasterMsg) -> SlaveMsg | None:
+        """Act on the master's reply, using the results prepared by
+        :meth:`align_pending`."""
+        if self._aligned is None:
+            raise RuntimeError("finish_step before align_pending")
+        results = self._aligned
+        costs = self._align_costs
+        self._aligned = None
+        self._align_costs = SlaveStepCosts()
+        if reply.stop:
+            if self.nextwork:
+                raise RuntimeError(
+                    f"slave {self.slave_id} stopped with {len(self.nextwork)} "
+                    f"unreported results"
+                )
+            self.done = True
+            self.last_costs = costs
+            return None
+        self.nextwork = tuple(reply.work)
+
+        # Fill PAIRBUF toward the requested E (blocking generation; idle
+        # generation during the wait is modelled by the engine via
+        # :meth:`idle_generate`).
+        want = reply.request
+        if want > len(self.pairbuf):
+            fetched = self.generator.next_batch(want - len(self.pairbuf))
+            costs.pairs_generated_blocking += len(fetched)
+            self.pairbuf.extend(fetched)
+        p = min(want, len(self.pairbuf))
+        outgoing = tuple(self.pairbuf.popleft() for _ in range(p))
+
+        self.last_costs = costs
+        return SlaveMsg(
+            slave_id=self.slave_id,
+            results=results,
+            pairs=outgoing,
+            exhausted=self.generator.exhausted and not self.pairbuf,
+            has_pending_results=bool(self.nextwork),
+        )
+
+    def idle_generate(self, max_pairs: int) -> int:
+        """Generate up to ``max_pairs`` into PAIRBUF (capacity permitting)
+        — the paper's 'generate while waiting for the master'."""
+        room = self.pairbuf_capacity - len(self.pairbuf)
+        budget = min(max_pairs, room)
+        if budget <= 0:
+            return 0
+        fetched = self.generator.next_batch(budget)
+        self.pairbuf.extend(fetched)
+        return len(fetched)
+
+    # ------------------------------------------------------------------ #
+
+    def _align_batch(
+        self, pairs: list[Pair], costs: SlaveStepCosts
+    ) -> tuple[tuple[Pair, AlignmentResult, bool], ...]:
+        out = []
+        cells_before = self.aligner.dp_cells_total
+        model_before = self.aligner.model_cells_total
+        for pair in pairs:
+            result, accepted = self.aligner.align_and_decide(pair)
+            out.append((pair, result, accepted))
+        costs.n_alignments += len(pairs)
+        costs.dp_cells += self.aligner.dp_cells_total - cells_before
+        costs.model_cells += self.aligner.model_cells_total - model_before
+        self.total_alignments += costs.n_alignments
+        self.total_dp_cells = self.aligner.dp_cells_total
+        return tuple(out)

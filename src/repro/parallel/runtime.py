@@ -1,0 +1,66 @@
+"""Front door for parallel clustering runs.
+
+Two engines execute the identical protocol:
+
+- ``machine="simulated"`` — the deterministic discrete-event machine with
+  a virtual clock (any processor count; this is what regenerates the
+  paper's scaling tables and figures);
+- ``machine="multiprocessing"`` — real OS processes over pipes
+  (functional parallelism; wall-clock numbers are Python's, not the
+  paper's IBM SP).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ClusteringConfig
+from repro.core.results import ClusteringResult
+from repro.parallel.cost_model import CostModel
+from repro.parallel.mp_backend import cluster_multiprocessing
+from repro.parallel.sim_machine import SimulatedMachine, SimulationReport
+from repro.sequence.collection import EstCollection
+from repro.suffix.gst import SuffixArrayGst
+
+__all__ = ["simulate_clustering", "run_parallel"]
+
+
+def simulate_clustering(
+    collection: EstCollection,
+    config: ClusteringConfig | None = None,
+    *,
+    n_processors: int = 8,
+    cost_model: CostModel | None = None,
+    gst: SuffixArrayGst | None = None,
+) -> SimulationReport:
+    """Run one simulated parallel clustering and return its full report.
+
+    ``gst`` may be supplied to share one built index across a parameter
+    sweep (construction is deterministic, so this does not change
+    results — only saves host time).
+    """
+    machine = SimulatedMachine(
+        collection,
+        config,
+        n_processors=n_processors,
+        cost_model=cost_model,
+        gst=gst,
+    )
+    return machine.run()
+
+
+def run_parallel(
+    collection: EstCollection,
+    config: ClusteringConfig | None = None,
+    *,
+    n_processors: int = 8,
+    machine: str = "simulated",
+    cost_model: CostModel | None = None,
+) -> ClusteringResult:
+    """Parallel clustering with either engine, returning the result object
+    (for the simulated engine, timings are virtual seconds)."""
+    if machine == "simulated":
+        return simulate_clustering(
+            collection, config, n_processors=n_processors, cost_model=cost_model
+        ).result
+    if machine == "multiprocessing":
+        return cluster_multiprocessing(collection, config, n_processors=n_processors)
+    raise ValueError(f"unknown machine {machine!r} (simulated|multiprocessing)")

@@ -1,0 +1,27 @@
+"""Sequence substrate: alphabet encoding, reverse complement, FASTA I/O and
+the numpy-backed :class:`~repro.sequence.collection.EstCollection` that the
+suffix-tree and alignment layers operate on."""
+
+from repro.sequence.alphabet import ALPHABET, LAMBDA, SIGMA, decode, encode
+from repro.sequence.collection import EstCollection
+from repro.sequence.fasta import FastaRecord, read_fasta, write_fasta
+from repro.sequence.preprocess import PreprocessParams, low_complexity_mask, preprocess_est, trim_polya
+from repro.sequence.seq import reverse_complement, reverse_complement_str
+
+__all__ = [
+    "ALPHABET",
+    "LAMBDA",
+    "SIGMA",
+    "decode",
+    "encode",
+    "EstCollection",
+    "FastaRecord",
+    "PreprocessParams",
+    "low_complexity_mask",
+    "preprocess_est",
+    "trim_polya",
+    "read_fasta",
+    "write_fasta",
+    "reverse_complement",
+    "reverse_complement_str",
+]

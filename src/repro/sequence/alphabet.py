@@ -1,0 +1,85 @@
+"""The DNA alphabet Σ = {A, C, G, T} and its numeric encoding.
+
+Throughout the library sequences are stored as ``uint8`` numpy arrays with
+the encoding ``A=0, C=1, G=2, T=3``.  The complement pairing of the paper
+(A ↔ T, C ↔ G) then becomes the arithmetic identity ``comp(x) = 3 - x``,
+which lets reverse complementation run as a single vectorised expression.
+
+The special left-extension character λ (the null character marking "this
+suffix is a whole string", §3.2 of the paper) is represented by
+:data:`LAMBDA` = 4, giving the five lset classes lA, lC, lG, lT, lλ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ALPHABET",
+    "SIGMA",
+    "A",
+    "C",
+    "G",
+    "T",
+    "LAMBDA",
+    "encode",
+    "decode",
+    "complement_codes",
+    "is_valid_codes",
+]
+
+#: The four nucleotide letters in code order.
+ALPHABET = "ACGT"
+
+#: |Σ|, the alphabet size.
+SIGMA = 4
+
+A, C, G, T = 0, 1, 2, 3
+
+#: The null left-extension character λ of the paper's lsets: a suffix that is
+#: a prefix of its string is "left-extensible by λ".
+LAMBDA = 4
+
+# Fast translation tables.  _ENCODE maps ASCII byte -> code (255 = invalid);
+# _DECODE maps code -> ASCII byte.
+_ENCODE = np.full(256, 255, dtype=np.uint8)
+for _i, _ch in enumerate(ALPHABET):
+    _ENCODE[ord(_ch)] = _i
+    _ENCODE[ord(_ch.lower())] = _i
+_DECODE = np.frombuffer(ALPHABET.encode(), dtype=np.uint8)
+
+
+def encode(seq: str) -> np.ndarray:
+    """Encode an ACGT string (case-insensitive) into a ``uint8`` code array.
+
+    Raises ``ValueError`` on any character outside {a,c,g,t,A,C,G,T}; ESTs
+    with ambiguity codes (N, etc.) must be cleaned upstream, mirroring the
+    preprocessing real EST pipelines apply before clustering.
+    """
+    raw = np.frombuffer(seq.encode("ascii"), dtype=np.uint8)
+    codes = _ENCODE[raw]
+    if codes.max(initial=0) == 255:
+        bad = raw[codes == 255][0]
+        raise ValueError(f"invalid DNA character {chr(bad)!r} in sequence")
+    return codes
+
+
+def decode(codes: np.ndarray) -> str:
+    """Decode a ``uint8`` code array back into an ACGT string."""
+    codes = np.asarray(codes)
+    if codes.size and (codes.min() < 0 or codes.max() >= SIGMA):
+        raise ValueError("code array contains values outside 0..3")
+    return _DECODE[codes.astype(np.intp)].tobytes().decode("ascii")
+
+
+def complement_codes(codes: np.ndarray) -> np.ndarray:
+    """Complement of a code array: A↔T and C↔G, i.e. ``3 - codes``."""
+    return (SIGMA - 1 - np.asarray(codes)).astype(np.uint8)
+
+
+def is_valid_codes(codes: np.ndarray) -> bool:
+    """True iff every element of ``codes`` is a valid nucleotide code."""
+    codes = np.asarray(codes)
+    if codes.size == 0:
+        return True
+    return bool((codes >= 0).all() and (codes < SIGMA).all())

@@ -1,0 +1,199 @@
+"""The EST collection: the library's central sequence container.
+
+Following §3.1 of the paper, the input is a set ``E = {e_1..e_n}`` of ESTs
+with ``N`` total characters, and the algorithms operate on the doubled set
+``S = {s_1..s_2n}`` where each EST appears together with its reverse
+complement.  Here (0-based) string ``2i`` is the forward EST ``i`` and
+string ``2i+1`` is its reverse complement.
+
+All 2n strings live in one concatenated ``uint8`` numpy buffer with an
+offsets table, so a "string" is a zero-copy view and a "suffix" is just a
+``(string_index, offset)`` pair.  :meth:`EstCollection.sa_text` exposes the
+integer text used by the suffix-array engine, in which every string is
+terminated by a *unique* sentinel smaller than any nucleotide — this is what
+guarantees that no longest-common-prefix computed from the suffix array ever
+crosses a string boundary, so LCP intervals correspond exactly to the
+internal nodes of the generalized suffix tree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.sequence.alphabet import LAMBDA, SIGMA, decode, encode
+from repro.sequence.fasta import FastaRecord
+from repro.sequence.seq import reverse_complement
+
+__all__ = ["EstCollection"]
+
+
+class EstCollection:
+    """Immutable container of ``n`` ESTs and their reverse complements.
+
+    Parameters
+    ----------
+    forward:
+        Sequence of encoded ``uint8`` arrays, one per EST, each non-empty.
+    names:
+        Optional per-EST names (defaults to ``EST0, EST1, ...``).
+    """
+
+    def __init__(self, forward: Sequence[np.ndarray], names: Sequence[str] | None = None):
+        if len(forward) == 0:
+            raise ValueError("an EstCollection needs at least one EST")
+        if names is not None and len(names) != len(forward):
+            raise ValueError(f"{len(names)} names for {len(forward)} ESTs")
+
+        self._n = len(forward)
+        self._names = list(names) if names is not None else [f"EST{i}" for i in range(self._n)]
+
+        lengths = np.empty(2 * self._n, dtype=np.int64)
+        for i, est in enumerate(forward):
+            est = np.asarray(est, dtype=np.uint8)
+            if est.size == 0:
+                raise ValueError(f"EST {i} is empty")
+            if est.max() >= SIGMA:
+                raise ValueError(f"EST {i} contains invalid codes")
+            lengths[2 * i] = lengths[2 * i + 1] = est.size
+
+        self._offsets = np.zeros(2 * self._n + 1, dtype=np.int64)
+        np.cumsum(lengths, out=self._offsets[1:])
+        self._buffer = np.empty(int(self._offsets[-1]), dtype=np.uint8)
+        for i, est in enumerate(forward):
+            est = np.asarray(est, dtype=np.uint8)
+            self._buffer[self._offsets[2 * i] : self._offsets[2 * i + 1]] = est
+            self._buffer[self._offsets[2 * i + 1] : self._offsets[2 * i + 2]] = (
+                reverse_complement(est)
+            )
+        self._buffer.setflags(write=False)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_strings(cls, seqs: Iterable[str], names: Sequence[str] | None = None) -> "EstCollection":
+        """Build from ACGT strings."""
+        return cls([encode(s) for s in seqs], names)
+
+    @classmethod
+    def from_records(cls, records: Iterable[FastaRecord]) -> "EstCollection":
+        """Build from FASTA records, keeping their names."""
+        records = list(records)
+        return cls.from_strings([r.sequence for r in records], [r.name for r in records])
+
+    # ------------------------------------------------------------------ #
+    # sizes (paper notation: n ESTs, N total characters, l = N/n)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_ests(self) -> int:
+        """n — the number of input ESTs."""
+        return self._n
+
+    @property
+    def n_strings(self) -> int:
+        """2n — forward strings plus reverse complements."""
+        return 2 * self._n
+
+    @property
+    def total_chars(self) -> int:
+        """N — total characters over the *forward* ESTs."""
+        return int(self._offsets[-1]) // 2
+
+    @property
+    def mean_length(self) -> float:
+        """l = N / n, the average EST length."""
+        return self.total_chars / self._n
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._names)
+
+    # ------------------------------------------------------------------ #
+    # string access
+    # ------------------------------------------------------------------ #
+
+    def string(self, k: int) -> np.ndarray:
+        """Zero-copy view of string ``k`` in S (0 <= k < 2n)."""
+        if not 0 <= k < 2 * self._n:
+            raise IndexError(f"string index {k} out of range [0, {2 * self._n})")
+        return self._buffer[self._offsets[k] : self._offsets[k + 1]]
+
+    def est(self, i: int) -> np.ndarray:
+        """Zero-copy view of forward EST ``i`` (0 <= i < n)."""
+        if not 0 <= i < self._n:
+            raise IndexError(f"EST index {i} out of range [0, {self._n})")
+        return self.string(2 * i)
+
+    def est_string(self, i: int) -> str:
+        """Forward EST ``i`` decoded to an ACGT string."""
+        return decode(self.est(i))
+
+    def length(self, k: int) -> int:
+        """Length of string ``k``."""
+        if not 0 <= k < 2 * self._n:
+            raise IndexError(f"string index {k} out of range [0, {2 * self._n})")
+        return int(self._offsets[k + 1] - self._offsets[k])
+
+    @staticmethod
+    def est_of_string(k: int) -> int:
+        """The EST index a string belongs to (both strands map to one EST)."""
+        return k >> 1
+
+    @staticmethod
+    def is_complemented(k: int) -> bool:
+        """True iff string ``k`` is a reverse complement (odd index)."""
+        return bool(k & 1)
+
+    def left_extension(self, k: int, offset: int) -> int:
+        """The paper's left-extension character of suffix ``(k, offset)``:
+        λ if the suffix is the whole string, else the preceding character."""
+        if offset == 0:
+            return LAMBDA
+        return int(self.string(k)[offset - 1])
+
+    # ------------------------------------------------------------------ #
+    # suffix-array text
+    # ------------------------------------------------------------------ #
+
+    def sa_text(self) -> tuple[np.ndarray, np.ndarray]:
+        """The integer text for suffix-array construction.
+
+        Returns ``(text, starts)`` where ``text`` is ``int32`` of length
+        ``2N + 2n``: string ``k`` occupies ``starts[k] .. starts[k+1]-2``
+        with nucleotide ``c`` stored as ``2n + c``, followed at
+        ``starts[k+1]-1`` by the unique sentinel value ``k``.  Sentinels are
+        all smaller than every nucleotide, so a suffix that is a prefix of
+        another sorts first, and being unique they stop common prefixes at
+        string boundaries.
+        """
+        two_n = 2 * self._n
+        total = int(self._offsets[-1]) + two_n
+        text = np.empty(total, dtype=np.int32)
+        starts = np.empty(two_n + 1, dtype=np.int64)
+        pos = 0
+        for k in range(two_n):
+            starts[k] = pos
+            seg = self.string(k)
+            text[pos : pos + seg.size] = seg.astype(np.int32) + two_n
+            pos += seg.size
+            text[pos] = k
+            pos += 1
+        starts[two_n] = pos
+        return text, starts
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"EstCollection(n={self._n}, N={self.total_chars}, "
+            f"mean_length={self.mean_length:.1f})"
+        )

@@ -1,0 +1,97 @@
+"""Minimal FASTA reader/writer.
+
+EST repositories (dbEST and friends) distribute sequences as FASTA; the
+clustering pipeline ingests and emits the same format so the examples can be
+pointed at real files.  Only the features EST data needs are implemented:
+``>``-headers with free-text descriptions and wrapped sequence lines.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+__all__ = ["FastaRecord", "read_fasta", "write_fasta", "parse_fasta"]
+
+
+@dataclass(frozen=True)
+class FastaRecord:
+    """One FASTA entry: ``name`` is the first token after ``>``, the
+    remainder of the header line is ``description``."""
+
+    name: str
+    sequence: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("FASTA record name must be non-empty")
+
+
+def parse_fasta(handle: TextIO) -> Iterator[FastaRecord]:
+    """Stream records from an open text handle."""
+    name: str | None = None
+    description = ""
+    chunks: list[str] = []
+    for lineno, line in enumerate(handle, start=1):
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith(">"):
+            if name is not None:
+                yield FastaRecord(name, "".join(chunks), description)
+            header = line[1:].strip()
+            if not header:
+                raise ValueError(f"empty FASTA header at line {lineno}")
+            parts = header.split(None, 1)
+            name = parts[0]
+            description = parts[1] if len(parts) > 1 else ""
+            chunks = []
+        else:
+            if name is None:
+                raise ValueError(f"sequence data before first header at line {lineno}")
+            chunks.append(line.strip())
+    if name is not None:
+        yield FastaRecord(name, "".join(chunks), description)
+
+
+def read_fasta(path: str | Path) -> list[FastaRecord]:
+    """Read all records from a FASTA file."""
+    with open(path, "r", encoding="ascii") as fh:
+        return list(parse_fasta(fh))
+
+
+def write_fasta(
+    records: Iterable[FastaRecord],
+    path_or_handle: str | Path | TextIO,
+    *,
+    width: int = 70,
+) -> None:
+    """Write records, wrapping sequence lines at ``width`` columns."""
+    if width <= 0:
+        raise ValueError(f"line width must be positive, got {width}")
+
+    def _emit(fh: TextIO) -> None:
+        for rec in records:
+            header = f">{rec.name}"
+            if rec.description:
+                header += f" {rec.description}"
+            fh.write(header + "\n")
+            seq = rec.sequence
+            for start in range(0, len(seq), width):
+                fh.write(seq[start : start + width] + "\n")
+
+    if isinstance(path_or_handle, (str, Path)):
+        with open(path_or_handle, "w", encoding="ascii") as fh:
+            _emit(fh)
+    else:
+        _emit(path_or_handle)
+
+
+def records_to_string(records: Iterable[FastaRecord], *, width: int = 70) -> str:
+    """Render records to an in-memory FASTA string (handy in tests)."""
+    buf = io.StringIO()
+    write_fasta(records, buf, width=width)
+    return buf.getvalue()

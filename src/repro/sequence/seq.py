@@ -1,0 +1,45 @@
+"""Sequence-level operations: reverse complement, substring extraction.
+
+The two strands of a DNA molecule run in opposite directions and pair
+A ↔ T, C ↔ G; one strand is obtained from the other by *reverse
+complementation* (§1 of the paper).  Because a gene may sit on either
+strand, every EST is clustered together with its reverse complement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sequence.alphabet import complement_codes, decode, encode
+
+__all__ = ["reverse_complement", "reverse_complement_str", "canonical_codes"]
+
+
+def reverse_complement(codes: np.ndarray) -> np.ndarray:
+    """Reverse complement of an encoded sequence (new array).
+
+    ``reverse_complement(reverse_complement(x)) == x`` — the involution the
+    property tests pin down.
+    """
+    return complement_codes(np.asarray(codes)[::-1])
+
+
+def reverse_complement_str(seq: str) -> str:
+    """Reverse complement of an ACGT string."""
+    return decode(reverse_complement(encode(seq)))
+
+
+def canonical_codes(codes: np.ndarray) -> np.ndarray:
+    """The lexicographically smaller of a sequence and its reverse complement.
+
+    Useful as a strand-independent key (e.g. deduplicating simulated reads).
+    """
+    codes = np.asarray(codes)
+    rc = reverse_complement(codes)
+    # Lexicographic comparison of two equal-length uint8 arrays.
+    for a, b in zip(codes.tolist(), rc.tolist()):
+        if a < b:
+            return codes
+        if b < a:
+            return rc
+    return codes

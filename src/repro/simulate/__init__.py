@@ -1,0 +1,34 @@
+"""Synthetic EST benchmark generator: gene models with exon/intron
+structure, transcription (incl. alternative splicing), cDNA/EST sampling
+from either end, a sequencing-error model, and dataset assembly with exact
+ground-truth clustering — the stand-in for the paper's Arabidopsis
+benchmark (see DESIGN.md §2)."""
+
+from repro.simulate.datasets import BenchmarkParams, EstBenchmark, make_benchmark
+from repro.simulate.errors import ErrorModel, apply_errors
+from repro.simulate.est_sampler import ReadParams, SampledEst, sample_est, sample_gene_ests
+from repro.simulate.genes import GeneModel, make_gene, make_gene_family, random_genome
+from repro.simulate.transcripts import (
+    Transcript,
+    alternative_transcripts,
+    primary_transcript,
+)
+
+__all__ = [
+    "BenchmarkParams",
+    "EstBenchmark",
+    "make_benchmark",
+    "ErrorModel",
+    "apply_errors",
+    "ReadParams",
+    "SampledEst",
+    "sample_est",
+    "sample_gene_ests",
+    "GeneModel",
+    "make_gene",
+    "make_gene_family",
+    "random_genome",
+    "Transcript",
+    "alternative_transcripts",
+    "primary_transcript",
+]

@@ -1,0 +1,163 @@
+"""Benchmark dataset assembly: the synthetic stand-in for the paper's
+Arabidopsis EST benchmark, with exact ground-truth clustering.
+
+A benchmark is defined by the number of genes, the per-gene expression
+distribution (real EST libraries are heavily skewed: a few genes dominate),
+read parameters and error model, plus optional hard cases (paralog
+families, alternatively-spliced isoforms).  The true clustering is one
+cluster per gene — ESTs of all isoforms of a gene belong together, exactly
+the definition in §1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sequence.collection import EstCollection
+from repro.simulate.errors import ErrorModel
+from repro.simulate.est_sampler import ReadParams, SampledEst, sample_gene_ests
+from repro.simulate.genes import GeneModel, make_gene, make_gene_family
+from repro.simulate.transcripts import (
+    Transcript,
+    alternative_transcripts,
+    primary_transcript,
+    with_polya,
+)
+from repro.util.rng import ensure_rng
+from repro.util.validation import check_positive
+
+__all__ = ["BenchmarkParams", "EstBenchmark", "make_benchmark"]
+
+
+@dataclass(frozen=True)
+class BenchmarkParams:
+    """Everything that defines a synthetic benchmark."""
+
+    n_genes: int = 20
+    mean_ests_per_gene: float = 10.0
+    expression_skew: float = 1.2  # Zipf-like exponent; 0 = uniform
+    read_params: ReadParams = field(default_factory=ReadParams)
+    error_model: ErrorModel = field(default_factory=ErrorModel)
+    paralog_fraction: float = 0.0  # fraction of genes that get a paralog copy
+    paralog_divergence: float = 0.05
+    alt_splicing_fraction: float = 0.0  # fraction of genes with extra isoforms
+    polya_tail_length: int = 0  # poly-A appended to every transcript
+    n_exons_range: tuple[int, int] = (2, 5)
+    exon_len_range: tuple[int, int] = (200, 500)
+
+    def __post_init__(self) -> None:
+        check_positive("n_genes", self.n_genes)
+        check_positive("mean_ests_per_gene", self.mean_ests_per_gene)
+
+    @classmethod
+    def small(cls, n_genes: int = 8, mean_ests_per_gene: float = 6.0) -> "BenchmarkParams":
+        """A fast test/demo regime: short reads, short genes."""
+        return cls(
+            n_genes=n_genes,
+            mean_ests_per_gene=mean_ests_per_gene,
+            read_params=ReadParams.short_reads(),
+            n_exons_range=(1, 3),
+            exon_len_range=(80, 200),
+        )
+
+
+@dataclass
+class EstBenchmark:
+    """A generated benchmark: sequences plus exact ground truth."""
+
+    params: BenchmarkParams
+    collection: EstCollection
+    reads: list[SampledEst]
+    genes: list[GeneModel]
+    transcripts: dict[int, list[Transcript]]
+
+    @property
+    def n_ests(self) -> int:
+        return self.collection.n_ests
+
+    @property
+    def true_labels(self) -> list[int]:
+        """Gene id per EST — the correct clustering."""
+        return [read.gene_id for read in self.reads]
+
+    def true_clusters(self) -> list[list[int]]:
+        by_gene: dict[int, list[int]] = {}
+        for i, read in enumerate(self.reads):
+            by_gene.setdefault(read.gene_id, []).append(i)
+        return [members for _gid, members in sorted(by_gene.items())]
+
+
+def make_benchmark(params: BenchmarkParams, rng=None) -> EstBenchmark:
+    """Generate a benchmark dataset.
+
+    Expression levels follow a normalised power law over gene ranks
+    (exponent ``expression_skew``), scaled so the expected total equals
+    ``n_genes × mean_ests_per_gene``; every gene gets at least two reads
+    so each true cluster is non-trivial.
+    """
+    rng = ensure_rng(rng)
+    genes: list[GeneModel] = []
+    next_id = 0
+    for _ in range(params.n_genes):
+        gene = make_gene(
+            next_id,
+            rng,
+            n_exons_range=params.n_exons_range,
+            exon_len_range=params.exon_len_range,
+        )
+        genes.append(gene)
+        next_id += 1
+        if rng.random() < params.paralog_fraction:
+            genes.append(
+                make_gene_family(
+                    gene, next_id, rng, divergence=params.paralog_divergence
+                )
+            )
+            next_id += 1
+
+    transcripts: dict[int, list[Transcript]] = {}
+    for gene in genes:
+        forms = [primary_transcript(gene)]
+        if rng.random() < params.alt_splicing_fraction:
+            forms.extend(alternative_transcripts(gene, rng))
+        if params.polya_tail_length:
+            forms = [with_polya(t, params.polya_tail_length) for t in forms]
+        transcripts[gene.gene_id] = forms
+
+    # Skewed expression: weight ∝ rank^-skew over a random gene order.
+    order = rng.permutation(len(genes))
+    ranks = np.empty(len(genes))
+    ranks[order] = np.arange(1, len(genes) + 1)
+    weights = ranks ** (-params.expression_skew)
+    weights /= weights.sum()
+    total_reads = int(round(params.mean_ests_per_gene * params.n_genes))
+    counts = np.maximum(2, rng.multinomial(total_reads, weights))
+
+    reads: list[SampledEst] = []
+    for gene, count in zip(genes, counts):
+        reads.extend(
+            sample_gene_ests(
+                transcripts[gene.gene_id],
+                int(count),
+                params.read_params,
+                params.error_model,
+                rng,
+            )
+        )
+    # Shuffle so EST ids carry no gene signal.
+    perm = rng.permutation(len(reads))
+    reads = [reads[i] for i in perm]
+
+    collection = EstCollection(
+        [read.codes for read in reads],
+        names=[f"EST{i}_g{read.gene_id}" for i, read in enumerate(reads)],
+    )
+    return EstBenchmark(
+        params=params,
+        collection=collection,
+        reads=reads,
+        genes=genes,
+        transcripts=transcripts,
+    )

@@ -1,0 +1,135 @@
+"""EST sampling from transcripts.
+
+"Due to experimental limitations, several cDNAs of various lengths are
+obtained instead of just full-length cDNAs.  Part of the cDNA fragments of
+average length about 500-600 can be sequenced.  The sequencing can be done
+from either end." (§1, Fig. 1.)
+
+Accordingly an EST here is a read of length ~N(mean, sd) taken from a
+random cDNA fragment of the mRNA, sequenced from the 5′ or the 3′ end; a
+3′ read reports the reverse complement (opposite strand, opposite
+direction).  Errors are injected afterwards.  Reads shorter than
+``min_length`` (after clipping to the fragment) are resampled, mirroring
+the length filters real EST pipelines apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sequence.seq import reverse_complement
+from repro.simulate.errors import ErrorModel, apply_errors
+from repro.simulate.transcripts import Transcript
+from repro.util.rng import ensure_rng
+from repro.util.validation import check_positive
+
+__all__ = ["ReadParams", "SampledEst", "sample_est", "sample_gene_ests"]
+
+
+@dataclass(frozen=True)
+class ReadParams:
+    """Read-length distribution and end bias."""
+
+    mean_length: float = 550.0
+    sd_length: float = 60.0
+    min_length: int = 100
+    five_prime_prob: float = 0.5  # chance of a 5' (forward) read
+
+    def __post_init__(self) -> None:
+        check_positive("mean_length", self.mean_length)
+        check_positive("min_length", self.min_length)
+        if self.sd_length < 0:
+            raise ValueError("sd_length must be >= 0")
+        if not 0.0 <= self.five_prime_prob <= 1.0:
+            raise ValueError("five_prime_prob must be a probability")
+
+    @classmethod
+    def short_reads(cls, mean: float = 120.0, sd: float = 20.0, min_length: int = 40) -> "ReadParams":
+        """A scaled-down regime for fast tests and demos."""
+        return cls(mean_length=mean, sd_length=sd, min_length=min_length)
+
+
+@dataclass(frozen=True)
+class SampledEst:
+    """One sampled EST with its provenance (the simulator's ground truth)."""
+
+    codes_bytes: bytes
+    gene_id: int
+    isoform_id: int
+    mrna_start: int  # fragment coordinates on the transcript
+    mrna_end: int
+    five_prime: bool  # True: forward read; False: reverse-complemented
+
+    @property
+    def codes(self) -> np.ndarray:
+        return np.frombuffer(self.codes_bytes, dtype=np.uint8)
+
+    @property
+    def length(self) -> int:
+        return len(self.codes_bytes)
+
+
+def sample_est(
+    transcript: Transcript,
+    params: ReadParams,
+    error_model: ErrorModel,
+    rng=None,
+    *,
+    max_attempts: int = 50,
+) -> SampledEst:
+    """Sample one EST from a transcript."""
+    rng = ensure_rng(rng)
+    mrna = transcript.sequence
+    if len(mrna) < params.min_length:
+        raise ValueError(
+            f"transcript of length {len(mrna)} shorter than min read "
+            f"length {params.min_length}"
+        )
+    for _ in range(max_attempts):
+        # A cDNA fragment: a random-length window of the mRNA.
+        frag_len = int(round(rng.normal(params.mean_length * 1.5, params.sd_length)))
+        frag_len = min(max(frag_len, params.min_length), len(mrna))
+        frag_start = int(rng.integers(0, len(mrna) - frag_len + 1))
+        # Read length, clipped to the fragment.
+        read_len = int(round(rng.normal(params.mean_length, params.sd_length)))
+        read_len = min(max(read_len, params.min_length), frag_len)
+        five_prime = bool(rng.random() < params.five_prime_prob)
+        if five_prime:
+            start = frag_start
+            end = frag_start + read_len
+            raw = mrna[start:end]
+        else:
+            end = frag_start + frag_len
+            start = end - read_len
+            raw = reverse_complement(mrna[start:end])
+        noisy = apply_errors(raw, error_model, rng)
+        if len(noisy) >= params.min_length:
+            return SampledEst(
+                codes_bytes=noisy.tobytes(),
+                gene_id=transcript.gene_id,
+                isoform_id=transcript.isoform_id,
+                mrna_start=start,
+                mrna_end=end,
+                five_prime=five_prime,
+            )
+    raise RuntimeError("failed to sample a read above min_length")
+
+
+def sample_gene_ests(
+    transcripts: list[Transcript],
+    n_reads: int,
+    params: ReadParams,
+    error_model: ErrorModel,
+    rng=None,
+) -> list[SampledEst]:
+    """Sample ``n_reads`` ESTs from a gene's isoforms (uniform choice)."""
+    rng = ensure_rng(rng)
+    if not transcripts:
+        raise ValueError("need at least one transcript")
+    reads = []
+    for _ in range(n_reads):
+        t = transcripts[int(rng.integers(0, len(transcripts)))]
+        reads.append(sample_est(t, params, error_model, rng))
+    return reads

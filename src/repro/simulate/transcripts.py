@@ -1,0 +1,104 @@
+"""Transcription: gene → mRNA, including alternative splice forms.
+
+The paper lists "detection of alternative splicing" as additional
+processing that can improve quality (§3.3) and as future work (§5).  To
+exercise that extension, the simulator can emit alternative transcripts —
+mRNAs with some internal exons skipped — for a fraction of genes.  ESTs
+from different splice forms of one gene still belong to one cluster (one
+gene, one cluster), which is precisely what makes them interesting: they
+overlap in shared exons but disagree across skipped ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulate.genes import GeneModel
+from repro.util.rng import ensure_rng
+
+__all__ = ["Transcript", "primary_transcript", "alternative_transcripts", "with_polya"]
+
+
+@dataclass(frozen=True)
+class Transcript:
+    """One mRNA isoform: the gene it came from and the exons retained."""
+
+    gene_id: int
+    isoform_id: int
+    exon_mask: tuple[bool, ...]
+    sequence_bytes: bytes
+
+    @property
+    def sequence(self) -> np.ndarray:
+        return np.frombuffer(self.sequence_bytes, dtype=np.uint8)
+
+    @property
+    def length(self) -> int:
+        return len(self.sequence_bytes)
+
+
+def primary_transcript(gene: GeneModel) -> Transcript:
+    """The full-exon mRNA."""
+    return Transcript(
+        gene_id=gene.gene_id,
+        isoform_id=0,
+        exon_mask=tuple(True for _ in gene.exons),
+        sequence_bytes=b"".join(gene.exons),
+    )
+
+
+def with_polya(transcript: Transcript, length: int) -> Transcript:
+    """The transcript with a poly-A tail appended (mature mRNAs are
+    polyadenylated; reads taken near the 3' end inherit the tail, which is
+    why real EST pipelines trim poly-A before clustering —
+    :mod:`repro.sequence.preprocess`)."""
+    if length < 0:
+        raise ValueError(f"tail length must be >= 0, got {length}")
+    if length == 0:
+        return transcript
+    return Transcript(
+        gene_id=transcript.gene_id,
+        isoform_id=transcript.isoform_id,
+        exon_mask=transcript.exon_mask,
+        sequence_bytes=transcript.sequence_bytes + bytes([0]) * length,  # A = 0
+    )
+
+
+def alternative_transcripts(
+    gene: GeneModel,
+    rng=None,
+    *,
+    max_isoforms: int = 2,
+    skip_prob: float = 0.35,
+) -> list[Transcript]:
+    """Exon-skipping isoforms (terminal exons are always retained).
+
+    Returns between 0 and ``max_isoforms`` additional transcripts; genes
+    with fewer than 3 exons cannot skip and return an empty list.
+    """
+    rng = ensure_rng(rng)
+    if gene.n_exons < 3 or max_isoforms <= 0:
+        return []
+    isoforms: list[Transcript] = []
+    seen = {tuple(True for _ in gene.exons)}
+    for iso in range(1, max_isoforms + 1):
+        mask = [True] * gene.n_exons
+        for k in range(1, gene.n_exons - 1):
+            if rng.random() < skip_prob:
+                mask[k] = False
+        key = tuple(mask)
+        if key in seen:
+            continue
+        seen.add(key)
+        seq = b"".join(e for e, keep in zip(gene.exons, mask) if keep)
+        isoforms.append(
+            Transcript(
+                gene_id=gene.gene_id,
+                isoform_id=iso,
+                exon_mask=key,
+                sequence_bytes=seq,
+            )
+        )
+    return isoforms

@@ -1,0 +1,152 @@
+"""Suffix bucketing on the first ``w`` characters (paper §3.1).
+
+Parallel GST construction starts by partitioning all suffixes of all 2n
+strings into at most |Σ|^w buckets keyed on their first ``w`` characters;
+buckets are then distributed across processors so that (1) a bucket lives
+entirely on one processor and (2) per-processor suffix counts are balanced.
+The subtree built from one bucket is exactly the GST subtree below the
+depth-``w`` node for that prefix, so the collection of bucket trees is a
+distributed representation of the GST (minus the top ``< w`` region, which
+is irrelevant because the pair-generation threshold ψ ≥ w).
+
+Two views are provided:
+
+- :func:`enumerate_bucket_suffixes` — explicit ``(string, offset)`` lists
+  per bucket, consumed by the paper-faithful trie builder;
+- :func:`sa_bucket_ranges` — each bucket as a contiguous suffix-array rank
+  range, consumed by the suffix-array engine (a set of suffixes sharing a
+  ``w``-prefix is contiguous in the suffix array).
+
+Suffixes shorter than ``w`` are skipped in both views: they cannot contain
+a substring of length ≥ ψ ≥ w and therefore can never participate in a
+promising pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sequence.collection import EstCollection
+from repro.suffix.suffix_array import SuffixArray
+
+__all__ = [
+    "suffix_window_keys",
+    "enumerate_bucket_suffixes",
+    "sa_bucket_ranges",
+    "BucketStats",
+    "bucket_statistics",
+]
+
+
+def suffix_window_keys(codes: np.ndarray, w: int) -> np.ndarray:
+    """Keys of all length-``w`` windows of one encoded string.
+
+    ``keys[o]`` is the base-4 integer of ``codes[o:o+w]``; the result has
+    ``max(0, len - w + 1)`` entries.  Fully vectorised: ``w`` shifted adds.
+    """
+    if w < 1:
+        raise ValueError(f"window must be >= 1, got {w}")
+    codes = np.asarray(codes, dtype=np.int64)
+    n_windows = codes.size - w + 1
+    if n_windows <= 0:
+        return np.empty(0, dtype=np.int64)
+    keys = np.zeros(n_windows, dtype=np.int64)
+    for t in range(w):
+        keys += codes[t : t + n_windows] << (2 * (w - 1 - t))
+    return keys
+
+
+def enumerate_bucket_suffixes(
+    collection: EstCollection, w: int
+) -> dict[int, list[tuple[int, int]]]:
+    """Partition every suffix of every string in S into ``w``-prefix buckets.
+
+    Returns ``{key: [(string_index, offset), ...]}``; within a bucket the
+    suffixes appear in (string, offset) order, which keeps downstream tree
+    construction deterministic.
+    """
+    buckets: dict[int, list[tuple[int, int]]] = {}
+    for k in range(collection.n_strings):
+        keys = suffix_window_keys(collection.string(k), w)
+        for off, key in enumerate(keys.tolist()):
+            buckets.setdefault(key, []).append((k, off))
+    return buckets
+
+
+def sa_bucket_ranges(
+    sa_struct: SuffixArray,
+    collection: EstCollection,
+    starts: np.ndarray,
+    w: int,
+) -> list[tuple[int, int, int]]:
+    """Bucket boundaries in the suffix array.
+
+    Returns a list of ``(key, lo, hi)`` with ``[lo, hi)`` the suffix-array
+    rank range of suffixes of length ≥ w whose first ``w`` characters have
+    integer key ``key``, in increasing rank order.  Ranks of shorter
+    suffixes (including sentinel positions) belong to no bucket.
+    """
+    if w < 1:
+        raise ValueError(f"window must be >= 1, got {w}")
+    text = sa_struct.text
+    m = text.size
+    two_n = collection.n_strings
+    # Window keys over the whole concatenated text.  Sentinel-contaminated
+    # windows are invalidated via a rolling "contains a sentinel" flag.
+    vals = text.astype(np.int64) - two_n  # nucleotides -> 0..3, sentinels -> < 0
+    is_sentinel = vals < 0
+    n_windows = m - w + 1
+    keys = np.zeros(n_windows, dtype=np.int64)
+    bad = np.zeros(n_windows, dtype=bool)
+    clean = np.where(is_sentinel, 0, vals)
+    for t in range(w):
+        keys += clean[t : t + n_windows] << (2 * (w - 1 - t))
+        bad |= is_sentinel[t : t + n_windows]
+
+    sa = sa_struct.sa
+    valid = (sa < n_windows) & ~bad[np.minimum(sa, n_windows - 1)]
+    key_by_rank = np.where(valid, keys[np.minimum(sa, n_windows - 1)], -1)
+
+    ranges: list[tuple[int, int, int]] = []
+    r = 0
+    while r < m:
+        if key_by_rank[r] < 0:
+            r += 1
+            continue
+        key = int(key_by_rank[r])
+        lo = r
+        while r < m and key_by_rank[r] == key:
+            r += 1
+        ranges.append((key, lo, r))
+    return ranges
+
+
+@dataclass(frozen=True)
+class BucketStats:
+    """Summary of a bucket partition, used for load-balancing decisions and
+    the partitioning-phase accounting of Table 3."""
+
+    n_buckets: int
+    total_suffixes: int
+    max_bucket: int
+    mean_bucket: float
+
+    @property
+    def imbalance(self) -> float:
+        """max / mean bucket size (1.0 = perfectly uniform)."""
+        return self.max_bucket / self.mean_bucket if self.mean_bucket else 0.0
+
+
+def bucket_statistics(sizes: list[int]) -> BucketStats:
+    """Compute :class:`BucketStats` from bucket sizes."""
+    if not sizes:
+        return BucketStats(0, 0, 0, 0.0)
+    total = int(sum(sizes))
+    return BucketStats(
+        n_buckets=len(sizes),
+        total_suffixes=total,
+        max_bucket=int(max(sizes)),
+        mean_bucket=total / len(sizes),
+    )

@@ -1,0 +1,178 @@
+"""The paper's space-efficient DFS-array tree representation (§3.1).
+
+To keep the GST's memory footprint linear and pointer-light, the paper
+stores each bucket tree as an array of nodes in depth-first (preorder)
+order, where every node carries a **single pointer: the index of the
+rightmost leaf of its subtree**.  All structure is recovered from that one
+pointer per node:
+
+- the first child of an internal node is the next entry in the array;
+- the next sibling of a node ``u`` is the entry following ``u``'s rightmost
+  leaf — unless ``u`` and its parent share the same rightmost leaf, in
+  which case ``u`` is the last child;
+- a node is a leaf iff its rightmost-leaf pointer points to itself.
+
+:class:`DfsArrayTree` implements exactly that encoding (plus the per-node
+string-depths and per-leaf suffix payloads that Algorithm 1 needs), and the
+paper-faithful pair generator in :mod:`repro.pairs.generator` walks it using
+only these rules, so the representation is exercised end-to-end rather than
+being a museum piece.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.suffix.naive_tree import TrieNode
+
+__all__ = ["DfsArrayTree", "from_trie"]
+
+
+@dataclass
+class DfsArrayTree:
+    """A forest of bucket trees in the DFS-array encoding.
+
+    Attributes
+    ----------
+    string_depth:
+        Per node, the length of its path label.  For a leaf this is the
+        length of the (identical) suffixes it stores.
+    rightmost_leaf:
+        Per node, the array index of the rightmost leaf in its subtree.
+        ``rightmost_leaf[u] == u`` iff ``u`` is a leaf.
+    parent:
+        Per node, the parent index (-1 for bucket-tree roots).  The paper
+        recovers parenthood implicitly during its traversals; we store it
+        because Algorithm 1's bottom-up lset flow needs O(1) access.
+    suffix_strings, suffix_offsets, leaf_slice:
+        Flat suffix payload: leaf ``u`` stores the suffixes
+        ``(suffix_strings[a:b], suffix_offsets[a:b])`` where
+        ``(a, b) = leaf_slice[u]``.  Internal nodes have an empty slice.
+    roots:
+        Indices of the bucket-tree roots, in bucket-key order.
+    """
+
+    string_depth: np.ndarray
+    rightmost_leaf: np.ndarray
+    parent: np.ndarray
+    suffix_strings: np.ndarray
+    suffix_offsets: np.ndarray
+    leaf_slice: np.ndarray
+    roots: np.ndarray
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.string_depth)
+
+    def is_leaf(self, u: int) -> bool:
+        """Paper rule: a leaf points to itself."""
+        return int(self.rightmost_leaf[u]) == u
+
+    def first_child(self, u: int) -> int:
+        """Paper rule: the first child of a node is stored next to it."""
+        if self.is_leaf(u):
+            raise ValueError(f"node {u} is a leaf and has no children")
+        return u + 1
+
+    def next_sibling(self, u: int) -> int | None:
+        """Paper rule: follow the rightmost-leaf pointer and take the next
+        entry; if ``u`` and its parent share the rightmost leaf, ``u`` has
+        no next sibling."""
+        p = int(self.parent[u])
+        if p < 0:
+            return None
+        if int(self.rightmost_leaf[u]) == int(self.rightmost_leaf[p]):
+            return None
+        return int(self.rightmost_leaf[u]) + 1
+
+    def children(self, u: int) -> Iterator[int]:
+        """All children of ``u``, left to right, via the sibling walk."""
+        if self.is_leaf(u):
+            return
+        c: int | None = self.first_child(u)
+        while c is not None:
+            yield c
+            c = self.next_sibling(c)
+
+    def leaf_suffixes(self, u: int) -> list[tuple[int, int]]:
+        """The ``(string, offset)`` payload of leaf ``u``."""
+        a, b = int(self.leaf_slice[u, 0]), int(self.leaf_slice[u, 1])
+        return list(zip(self.suffix_strings[a:b].tolist(), self.suffix_offsets[a:b].tolist()))
+
+    def subtree_nodes(self, u: int) -> range:
+        """All nodes of ``u``'s subtree: the contiguous DFS block ending at
+        the rightmost leaf."""
+        return range(u, int(self.rightmost_leaf[u]) + 1)
+
+    def iter_postorder(self) -> Iterator[int]:
+        """Node ids children-before-parents (reverse preorder works because
+        within the DFS array every child has a larger index than its
+        parent)."""
+        return iter(range(self.n_nodes - 1, -1, -1))
+
+
+def from_trie(trees: dict[int, TrieNode] | list[TrieNode]) -> DfsArrayTree:
+    """Flatten bucket trees into the DFS-array encoding.
+
+    Accepts the ``{bucket_key: root}`` mapping of
+    :func:`repro.suffix.naive_tree.build_gst_forest` (flattened in key
+    order) or a plain list of roots.
+    """
+    if isinstance(trees, dict):
+        root_nodes = [trees[key] for key in sorted(trees)]
+    else:
+        root_nodes = list(trees)
+    # An empty forest is legal: every suffix may be shorter than the
+    # bucket window, in which case no promising pair can exist either.
+
+    depths: list[int] = []
+    rml: list[int] = []
+    parents: list[int] = []
+    slices: list[tuple[int, int]] = []
+    sufs_k: list[int] = []
+    sufs_off: list[int] = []
+    roots: list[int] = []
+
+    def assign(node: TrieNode, parent_idx: int) -> int:
+        """Preorder placement; returns the rightmost leaf of the subtree."""
+        idx = len(depths)
+        depths.append(node.string_depth)
+        rml.append(-1)  # patched below
+        parents.append(parent_idx)
+        a = len(sufs_k)
+        for k, off in node.suffixes:
+            sufs_k.append(k)
+            sufs_off.append(off)
+        slices.append((a, len(sufs_k)))
+        if node.is_leaf:
+            rml[idx] = idx
+            return idx
+        last = idx
+        for child in node.children:
+            last = assign(child, idx)
+        rml[idx] = last
+        return last
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 100_000))
+    try:
+        for root in root_nodes:
+            roots.append(len(depths))
+            assign(root, -1)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    return DfsArrayTree(
+        string_depth=np.array(depths, dtype=np.int64),
+        rightmost_leaf=np.array(rml, dtype=np.int64),
+        parent=np.array(parents, dtype=np.int64),
+        suffix_strings=np.array(sufs_k, dtype=np.int64),
+        suffix_offsets=np.array(sufs_off, dtype=np.int64),
+        leaf_slice=np.array(slices, dtype=np.int64).reshape(-1, 2),
+        roots=np.array(roots, dtype=np.int64),
+    )

@@ -1,0 +1,125 @@
+"""Facades over the two generalized-suffix-tree backends.
+
+The paper's pair-generation algorithm needs, for every suffix, three facts:
+which string it belongs to, its offset in that string, and its
+left-extension character (λ when the suffix is the whole string).  The two
+backends package those facts differently:
+
+- :class:`SuffixArrayGst` — the production engine.  Builds the suffix array
+  and LCP array of the sentinel-terminated concatenation once (vectorised
+  numpy), precomputes per-position lookup tables, and materialises LCP
+  forests on demand, either globally or per bucket range (the unit of
+  distribution across processors).
+- :class:`NaiveGst` — the paper-faithful engine: explicit bucket trees in
+  the DFS-array encoding.  Semantically identical output, used for tests,
+  demonstrations, and small inputs.
+
+Both are consumed by the generators in :mod:`repro.pairs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sequence.alphabet import LAMBDA
+from repro.sequence.collection import EstCollection
+from repro.suffix.buckets import sa_bucket_ranges
+from repro.suffix.dfs_array import DfsArrayTree, from_trie
+from repro.suffix.interval_tree import LcpForest, build_lcp_forest
+from repro.suffix.lcp import lcp_array
+from repro.suffix.naive_tree import build_gst_forest
+from repro.suffix.suffix_array import SuffixArray, build_suffix_array
+
+__all__ = ["SuffixArrayGst", "NaiveGst"]
+
+
+@dataclass
+class SuffixArrayGst:
+    """Enhanced-suffix-array view of the GST of S = {ESTs ∪ reverse complements}.
+
+    Build with :meth:`build`; all heavy construction happens there so the
+    object itself is cheap to ship between the driver and (simulated)
+    processors.
+    """
+
+    collection: EstCollection
+    text: np.ndarray
+    starts: np.ndarray
+    sa_struct: SuffixArray
+    lcp: np.ndarray
+    pos_string: np.ndarray  # text position -> string index in S
+    pos_offset: np.ndarray  # text position -> offset within its string
+    left_char: np.ndarray  # text position -> left-extension char (λ at offset 0)
+    suffix_len: np.ndarray  # text position -> suffix length (excl. sentinel)
+
+    @classmethod
+    def build(cls, collection: EstCollection) -> "SuffixArrayGst":
+        text, starts = collection.sa_text()
+        sa_struct = build_suffix_array(text)
+        lcp = lcp_array(sa_struct)
+        m = text.size
+        positions = np.arange(m, dtype=np.int64)
+        pos_string = np.searchsorted(starts[1:], positions, side="right")
+        pos_offset = positions - starts[pos_string]
+        string_len = (starts[pos_string + 1] - starts[pos_string]) - 1
+        suffix_len = string_len - pos_offset
+        two_n = collection.n_strings
+        left_char = np.full(m, LAMBDA, dtype=np.int64)
+        interior = pos_offset > 0
+        left_char[interior] = text[positions[interior] - 1] - two_n
+        return cls(
+            collection=collection,
+            text=text,
+            starts=starts,
+            sa_struct=sa_struct,
+            lcp=lcp,
+            pos_string=pos_string,
+            pos_offset=pos_offset,
+            left_char=left_char,
+            suffix_len=suffix_len,
+        )
+
+    # -- suffix lookups keyed by suffix-array *rank* (what forests store) --
+
+    def rank_to_position(self, rank: int | np.ndarray) -> np.ndarray:
+        return self.sa_struct.sa[rank]
+
+    def suffix_info(self, rank: int) -> tuple[int, int, int]:
+        """``(string, offset, left_extension_char)`` of the suffix at rank."""
+        p = int(self.sa_struct.sa[rank])
+        return int(self.pos_string[p]), int(self.pos_offset[p]), int(self.left_char[p])
+
+    # -- forest construction ------------------------------------------------
+
+    def forest(self, min_depth: int, lo: int = 0, hi: int | None = None) -> LcpForest:
+        """LCP forest of nodes with string-depth ≥ ``min_depth`` over ranks
+        ``[lo, hi)`` (the full array by default)."""
+        return build_lcp_forest(self.lcp, min_depth=min_depth, lo=lo, hi=hi)
+
+    def bucket_ranges(self, w: int) -> list[tuple[int, int, int]]:
+        """``(key, lo, hi)`` suffix-array ranges of the ``w``-prefix buckets
+        — the distribution unit for parallel construction (§3.1)."""
+        return sa_bucket_ranges(self.sa_struct, self.collection, self.starts, w)
+
+    @property
+    def n_suffix_positions(self) -> int:
+        return self.text.size
+
+
+@dataclass
+class NaiveGst:
+    """Paper-faithful bucket-tree view in the DFS-array encoding."""
+
+    collection: EstCollection
+    w: int
+    tree: DfsArrayTree = field(repr=False)
+
+    @classmethod
+    def build(cls, collection: EstCollection, w: int) -> "NaiveGst":
+        forest = build_gst_forest(collection, w)
+        return cls(collection=collection, w=w, tree=from_trie(forest))
+
+    def left_extension(self, string: int, offset: int) -> int:
+        return self.collection.left_extension(string, offset)

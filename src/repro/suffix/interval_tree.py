@@ -1,0 +1,195 @@
+"""LCP-interval forest: suffix-tree nodes recovered from the LCP array.
+
+An *LCP interval* of depth ``d`` is a maximal range ``[lb, rb]`` of
+suffix-array ranks whose suffixes all share a length-``d`` prefix, with at
+least one adjacent pair achieving exactly ``d``.  These intervals are in
+one-to-one correspondence with the internal nodes of the (generalized)
+suffix tree, with interval nesting as the parent/child relation — the
+classic *enhanced suffix array* equivalence (Abouelhoda, Kurtz & Ohlebusch).
+
+The paper's pair-generation (Algorithm 1) runs over the forest of GST
+subtrees whose roots have string-depth ≥ ψ, processing nodes in decreasing
+string-depth order.  :func:`build_lcp_forest` materialises exactly that
+forest: nodes with depth < ``min_depth`` are structurally traversed but
+never emitted, so their children become forest roots and their lsets are
+implicitly discarded — which is precisely the paper's behaviour at the
+threshold boundary.
+
+The builder also accepts a rank sub-range ``[lo, hi)``, which is how each
+(simulated or real) slave processor builds the forest for only the suffix
+buckets it owns: a bucket keyed on the first ``w`` characters is a
+contiguous suffix-array range, and with ψ ≥ w every qualifying node lies
+entirely inside one bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LcpForest", "build_lcp_forest"]
+
+
+@dataclass
+class LcpForest:
+    """The qualifying suffix-tree nodes over one suffix-array range.
+
+    All per-node sequences are parallel, indexed by node id in *emission*
+    (bottom-up pop) order, which guarantees children precede parents.
+
+    Attributes
+    ----------
+    depth, lb, rb:
+        String-depth and inclusive suffix-array rank range per node.
+    parent:
+        Parent node id, or -1 when the parent's depth is below the
+        threshold (the node is a root of the forest).
+    children:
+        Child node ids, ordered left to right (by ``lb``).
+    leaves:
+        Suffix-array ranks directly attached to the node, i.e. ranks in
+        ``[lb, rb]`` not covered by any child interval.  Each corresponds to
+        a leaf of the suffix tree hanging immediately below this node.
+    min_depth:
+        The ψ threshold the forest was built with.
+    """
+
+    depth: np.ndarray
+    lb: np.ndarray
+    rb: np.ndarray
+    parent: np.ndarray
+    children: list[list[int]]
+    leaves: list[list[int]]
+    min_depth: int
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.depth)
+
+    def roots(self) -> np.ndarray:
+        """Ids of forest roots (nodes whose parent is below threshold)."""
+        return np.flatnonzero(self.parent == -1)
+
+    def nodes_by_decreasing_depth(self) -> np.ndarray:
+        """Node ids sorted by decreasing string-depth (Algorithm 1 order).
+
+        A stable sort on negated depth keeps emission order inside equal
+        depths, making generation fully deterministic.
+        """
+        return np.argsort(-self.depth, kind="stable")
+
+    def validate(self) -> None:
+        """Internal-consistency checks (used by tests and debug runs)."""
+        for nid in range(self.n_nodes):
+            for cid in self.children[nid]:
+                if not (self.lb[nid] <= self.lb[cid] and self.rb[cid] <= self.rb[nid]):
+                    raise AssertionError(f"child {cid} not nested in node {nid}")
+                if self.depth[cid] <= self.depth[nid]:
+                    raise AssertionError(f"child {cid} not deeper than parent {nid}")
+                if self.parent[cid] != nid:
+                    raise AssertionError(f"parent link mismatch for {cid}")
+            covered = sum(self.rb[c] - self.lb[c] + 1 for c in self.children[nid])
+            covered += len(self.leaves[nid])
+            if covered != self.rb[nid] - self.lb[nid] + 1:
+                raise AssertionError(f"node {nid} does not partition its interval")
+
+
+def build_lcp_forest(
+    lcp: np.ndarray,
+    *,
+    min_depth: int,
+    lo: int = 0,
+    hi: int | None = None,
+) -> LcpForest:
+    """Build the forest of LCP intervals with depth ≥ ``min_depth``.
+
+    Parameters
+    ----------
+    lcp:
+        LCP array over the full suffix array (``lcp[r]`` relates ranks
+        ``r-1`` and ``r``).
+    min_depth:
+        The ψ threshold; must be ≥ 1 (depth-0 "nodes" pair everything with
+        everything and are meaningless here, as in the paper where ψ ≥ w).
+    lo, hi:
+        Restrict to suffix-array ranks ``[lo, hi)``; boundaries are treated
+        as depth-0 breaks, which is exact when the range is a full bucket
+        (adjacent buckets share < w < ψ characters).
+    """
+    if min_depth < 1:
+        raise ValueError(f"min_depth must be >= 1, got {min_depth}")
+    lcp = np.asarray(lcp)
+    if hi is None:
+        hi = len(lcp)
+    if not 0 <= lo <= hi <= len(lcp):
+        raise ValueError(f"invalid range [{lo}, {hi}) for lcp of length {len(lcp)}")
+
+    depths: list[int] = []
+    lbs: list[int] = []
+    rbs: list[int] = []
+    parents: list[int] = []
+    children: list[list[int]] = []
+    leaves: list[list[int]] = []
+
+    def emit(depth: int, lb: int, rb: int, kids: list[int]) -> int:
+        nid = len(depths)
+        depths.append(depth)
+        lbs.append(lb)
+        rbs.append(rb)
+        parents.append(-1)
+        children.append(kids)
+        # Direct leaves: ranks in [lb, rb] not covered by child intervals.
+        direct: list[int] = []
+        cur = lb
+        for cid in kids:
+            parents[cid] = nid
+            direct.extend(range(cur, lbs[cid]))
+            cur = rbs[cid] + 1
+        direct.extend(range(cur, rb + 1))
+        leaves.append(direct)
+        return nid
+
+    # Stack of open intervals: [depth, lb, child_ids | None].
+    # child_ids is None for intervals below threshold (children of those
+    # become forest roots).  Depths on the stack are strictly increasing.
+    stack: list[list] = [[0, lo, None if min_depth > 0 else []]]
+    n = hi - lo
+    if n <= 0:
+        raise ValueError("empty suffix-array range")
+
+    for r in range(lo + 1, hi + 1):
+        v = int(lcp[r]) if r < hi else 0
+        lb = r - 1
+        held: int | None = None  # emitted node awaiting a parent push
+        while stack[-1][0] > v:
+            depth_i, lb_i, kids_i = stack.pop()
+            lb = lb_i
+            if kids_i is not None:
+                nid = emit(depth_i, lb_i, r - 1, kids_i)
+            else:
+                nid = None
+            # Attach to the node below if it remains an enclosing interval.
+            if nid is not None:
+                if stack[-1][0] >= v and stack[-1][0] >= min_depth:
+                    # Parent is on the stack and qualifies.
+                    if stack[-1][2] is None:  # pragma: no cover - defensive
+                        stack[-1][2] = []
+                    stack[-1][2].append(nid)
+                elif stack[-1][0] < v:
+                    held = nid  # parent is the interval about to be pushed
+                # else: parent below threshold -> forest root (parent -1).
+        if stack[-1][0] < v:
+            kids = [held] if (held is not None and v >= min_depth) else []
+            stack.append([v, lb, kids if v >= min_depth else None])
+        # stack[-1][0] == v: held (if any) was already attached above.
+
+    return LcpForest(
+        depth=np.array(depths, dtype=np.int64),
+        lb=np.array(lbs, dtype=np.int64),
+        rb=np.array(rbs, dtype=np.int64),
+        parent=np.array(parents, dtype=np.int64),
+        children=children,
+        leaves=leaves,
+        min_depth=min_depth,
+    )

@@ -1,0 +1,138 @@
+"""Paper-faithful per-bucket GST construction (§3.1).
+
+A sequential suffix-tree algorithm (Ukkonen/McCreight) cannot be used on a
+bucket because a bucket does not contain *all* suffixes of any string; the
+paper therefore builds each bucket's subtree "by scanning all suffixes of a
+bucket one character at a time: a bucket is further subdivided into smaller
+buckets which are recursively subdivided, until each suffix is assigned a
+separate bucket".  That recursive character-partition refinement is
+implemented literally here, with path compaction so the result is the
+compacted trie (the GST subtree) rather than an uncompacted one.
+
+The resulting object tree mirrors the paper's structure exactly:
+
+- an internal node's *string-depth* is the length of its path label;
+- suffixes that end exactly at a node's depth form a **leaf child** whose
+  leaf set may contain several identical suffixes of *different* strings
+  (the multi-string leaves that make ProcessLeaf of Algorithm 1 non-trivial
+  — two identical suffixes of one string are impossible, they would have
+  different lengths);
+- children are ordered: the ended-suffix leaf first, then branches in
+  character order (this fixed ordering is what lets Algorithm 1 avoid
+  generating both (s, s') and (s', s) at one node).
+
+This backend is O(total suffix length) in Python and is intended for tests,
+small inputs, and as the semantic reference the fast suffix-array engine is
+validated against.  Run-time at scale is the suffix-array engine's job.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.sequence.collection import EstCollection
+from repro.suffix.buckets import enumerate_bucket_suffixes
+
+__all__ = ["TrieNode", "build_bucket_tree", "build_gst_forest"]
+
+
+@dataclass
+class TrieNode:
+    """A node of the compacted per-bucket trie.
+
+    ``suffixes`` is non-empty exactly for leaves and lists the identical
+    suffixes ``(string_index, offset)`` ending at this node's path label.
+    """
+
+    string_depth: int
+    suffixes: list[tuple[int, int]] = field(default_factory=list)
+    children: list["TrieNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def iter_postorder(self):
+        """Yield nodes children-first (used for depth-tie-safe processing)."""
+        stack: list[tuple[TrieNode, bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                yield node
+            else:
+                stack.append((node, True))
+                for child in reversed(node.children):
+                    stack.append((child, False))
+
+    def leaf_count(self) -> int:
+        return sum(1 for node in self.iter_postorder() if node.is_leaf)
+
+
+def build_bucket_tree(
+    collection: EstCollection,
+    suffixes: list[tuple[int, int]],
+    start_depth: int,
+) -> TrieNode:
+    """Build the compacted trie of ``suffixes``, which all share a common
+    prefix of length ``start_depth`` (the bucket window ``w``).
+
+    Iterative (explicit work stack) so deep paths cannot blow the Python
+    recursion limit.
+    """
+    if not suffixes:
+        raise ValueError("cannot build a tree from an empty bucket")
+
+    strings = [collection.string(k) for k in range(collection.n_strings)]
+    lengths = [len(s) for s in strings]
+
+    def make_node(group: list[tuple[int, int]], depth: int) -> TrieNode:
+        """Create the node for ``group`` (shared prefix length ``depth``),
+        with grandchildren left on ``work`` for later expansion."""
+        # Path compaction: extend depth while no suffix ends and all
+        # continue with the same character.
+        if len(group) == 1:
+            k, off = group[0]
+            return TrieNode(string_depth=lengths[k] - off, suffixes=[(k, off)])
+        while True:
+            ended = [(k, off) for (k, off) in group if lengths[k] - off == depth]
+            if ended:
+                break
+            chars = {int(strings[k][off + depth]) for (k, off) in group}
+            if len(chars) > 1:
+                break
+            depth += 1
+        if len(ended) == len(group):
+            # All suffixes are identical: a multi-string leaf.
+            return TrieNode(string_depth=depth, suffixes=list(group))
+        node = TrieNode(string_depth=depth)
+        if ended:
+            node.children.append(TrieNode(string_depth=depth, suffixes=ended))
+        by_char: dict[int, list[tuple[int, int]]] = {}
+        for k, off in group:
+            if lengths[k] - off > depth:
+                by_char.setdefault(int(strings[k][off + depth]), []).append((k, off))
+        for c in sorted(by_char):
+            work.append((node, by_char[c], depth + 1))
+        return node
+
+    work: deque[tuple[TrieNode, list[tuple[int, int]], int]] = deque()
+    root = make_node(suffixes, start_depth)
+    while work:
+        parent, group, depth = work.popleft()
+        child = make_node(group, depth)
+        parent.children.append(child)
+    return root
+
+
+def build_gst_forest(collection: EstCollection, w: int) -> dict[int, TrieNode]:
+    """The distributed-GST forest: one compacted bucket tree per ``w``-prefix.
+
+    Returns ``{bucket_key: root}`` with keys in increasing order.  Each root
+    has string-depth ≥ w; together the trees are the GST of S minus the top
+    ``< w`` region (paper §3.1).
+    """
+    buckets = enumerate_bucket_suffixes(collection, w)
+    return {
+        key: build_bucket_tree(collection, buckets[key], w) for key in sorted(buckets)
+    }

@@ -1,0 +1,184 @@
+"""Ukkonen's linear-time suffix-tree construction.
+
+§3.1 of the paper: "A Generalized Suffix Tree ... can be constructed in
+time linear in input size [Gusfield]" — but "a sequential suffix tree
+construction algorithm can no longer be used [per bucket] because all
+suffixes of a string do not fall in the same bucket".  This module
+supplies that sequential linear-time algorithm:
+
+- as the **baseline** the paper's bucket-scan construction is justified
+  against (see ``benchmarks/bench_construction.py``);
+- as a third, independently-derived representation of the GST used to
+  cross-validate the other two engines: over a sentinel-terminated
+  concatenation every internal node's path label is sentinel-free (a
+  sentinel occurs once in the text, so no two suffixes share it at equal
+  offset), hence the internal nodes coincide exactly with the LCP
+  intervals of the enhanced suffix array — a fact the structure tests
+  assert node for node.
+
+The implementation is the classic online algorithm with suffix links and
+the active-point triple; children are hash maps because sentinels blow
+the alphabet beyond Σ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["UkkonenTree", "build_ukkonen"]
+
+
+@dataclass
+class _Node:
+    start: int  # edge label: text[start:end) on the edge INTO this node
+    end: int | None  # None = grows with the text (leaf)
+    children: dict[int, "_Node"] = field(default_factory=dict)
+    suffix_link: "_Node | None" = None
+    suffix_index: int = -1  # for leaves: starting position of the suffix
+
+
+class UkkonenTree:
+    """A suffix tree built online in O(text length)."""
+
+    def __init__(self, text: np.ndarray) -> None:
+        self.text = np.ascontiguousarray(text, dtype=np.int64)
+        self._t = self.text.tolist()
+        self.root = _Node(start=-1, end=-1)
+        self._build()
+
+    # ------------------------------------------------------------------ #
+
+    def _edge_len(self, node: _Node, pos: int) -> int:
+        end = pos + 1 if node.end is None else node.end
+        return end - node.start
+
+    def _build(self) -> None:
+        t = self._t
+        n = len(t)
+        root = self.root
+        active_node = root
+        active_edge = 0  # index into text of the active edge's first char
+        active_len = 0
+        remainder = 0
+
+        for pos in range(n):
+            remainder += 1
+            last_internal: _Node | None = None
+            while remainder > 0:
+                if active_len == 0:
+                    active_edge = pos
+                child = active_node.children.get(t[active_edge])
+                if child is None:
+                    # Rule 2: new leaf from active_node.
+                    leaf = _Node(start=pos, end=None, suffix_index=pos - remainder + 1)
+                    active_node.children[t[pos]] = leaf
+                    if last_internal is not None:
+                        last_internal.suffix_link = active_node
+                        last_internal = None
+                else:
+                    edge = self._edge_len(child, pos)
+                    if active_len >= edge:
+                        # Walk down.
+                        active_edge += edge
+                        active_len -= edge
+                        active_node = child
+                        continue
+                    if t[child.start + active_len] == t[pos]:
+                        # Rule 3: already present; observation ends phase.
+                        active_len += 1
+                        if last_internal is not None:
+                            last_internal.suffix_link = active_node
+                        break
+                    # Rule 2 with split.
+                    split = _Node(start=child.start, end=child.start + active_len)
+                    active_node.children[t[child.start]] = split
+                    leaf = _Node(start=pos, end=None, suffix_index=pos - remainder + 1)
+                    split.children[t[pos]] = leaf
+                    child.start += active_len
+                    split.children[t[child.start]] = child
+                    if last_internal is not None:
+                        last_internal.suffix_link = split
+                    last_internal = split
+                remainder -= 1
+                if active_node is root and active_len > 0:
+                    active_len -= 1
+                    active_edge = pos - remainder + 1
+                elif active_node is not root:
+                    active_node = active_node.suffix_link or root
+
+    # ------------------------------------------------------------------ #
+
+    def contains(self, pattern: np.ndarray) -> bool:
+        """Is ``pattern`` a substring of the text?  O(|pattern|)."""
+        p = np.asarray(pattern, dtype=np.int64).tolist()
+        t = self._t
+        node = self.root
+        k = 0
+        while k < len(p):
+            child = node.children.get(p[k])
+            if child is None:
+                return False
+            end = len(t) if child.end is None else child.end
+            for j in range(child.start, end):
+                if k == len(p):
+                    return True
+                if t[j] != p[k]:
+                    return False
+                k += 1
+            node = child
+        return True
+
+    def internal_nodes(self) -> list[tuple[int, int]]:
+        """``(string_depth, leaf_count)`` of every internal node except the
+        root — exactly the LCP intervals of the enhanced suffix array."""
+        t_len = len(self._t)
+        out: list[tuple[int, int]] = []
+
+        def walk(node: _Node, depth: int) -> int:
+            if not node.children:
+                return 1
+            leaves = 0
+            for child in node.children.values():
+                end = t_len if child.end is None else child.end
+                leaves += walk(child, depth + (end - child.start))
+            if node is not self.root:
+                out.append((depth, leaves))
+            return leaves
+
+        import sys
+
+        old = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old, 4 * t_len + 100))
+        try:
+            walk(self.root, 0)
+        finally:
+            sys.setrecursionlimit(old)
+        return out
+
+    def suffix_starts(self) -> list[int]:
+        """Starting positions of all suffixes stored at leaves."""
+        t_len = len(self._t)
+        starts = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not node.children:
+                starts.append(node.suffix_index)
+            else:
+                stack.extend(node.children.values())
+        return sorted(starts)
+
+
+def build_ukkonen(text: np.ndarray) -> UkkonenTree:
+    """Build the suffix tree of ``text``.
+
+    The final position of ``text`` must be a unique terminator (true of
+    :meth:`repro.sequence.EstCollection.sa_text` outputs) so every suffix
+    ends at a leaf.
+    """
+    text = np.asarray(text)
+    if text.size == 0:
+        raise ValueError("cannot build a suffix tree of empty text")
+    return UkkonenTree(text)

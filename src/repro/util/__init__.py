@@ -1,0 +1,19 @@
+"""Small shared utilities: deterministic RNG handling, timers, validation.
+
+Nothing in this package knows about ESTs or suffix trees; it is the layer
+every other subpackage may depend on without creating cycles.
+"""
+
+from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.timing import Stopwatch, TimingBreakdown
+from repro.util.validation import check_positive, check_probability, check_in_range
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "TimingBreakdown",
+    "check_positive",
+    "check_probability",
+    "check_in_range",
+]

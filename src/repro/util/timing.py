@@ -1,0 +1,80 @@
+"""Wall-clock timing helpers used by the drivers and benchmark harness.
+
+:class:`TimingBreakdown` mirrors the per-component accounting of the paper's
+Table 3 (partitioning / GST construction / node sorting / alignment / total):
+components are accumulated by name and can be rendered as a table row.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "TimingBreakdown"]
+
+
+@dataclass
+class Stopwatch:
+    """A start/stop accumulating timer.
+
+    ``elapsed`` accumulates across multiple start/stop cycles, which is what
+    the component accounting needs (e.g. alignment time accrues over many
+    master-slave interactions).
+    """
+
+    elapsed: float = 0.0
+    _started_at: float | None = None
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("stopwatch not running")
+        delta = time.perf_counter() - self._started_at
+        self.elapsed += delta
+        self._started_at = None
+        return delta
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+
+@dataclass
+class TimingBreakdown:
+    """Named accumulating timers, one per pipeline component."""
+
+    components: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str):
+        """Context manager adding the enclosed wall time to ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - t0)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.components[name] = self.components.get(name, 0.0) + seconds
+
+    def get(self, name: str) -> float:
+        return self.components.get(name, 0.0)
+
+    @property
+    def total(self) -> float:
+        return sum(self.components.values())
+
+    def as_row(self, order: list[str] | None = None) -> list[float]:
+        """Render as a list of seconds in ``order`` (default: insertion order),
+        with the grand total appended — the shape of one Table 3 row."""
+        names = order if order is not None else list(self.components)
+        return [self.get(name) for name in names] + [self.total]
+
+    def merge(self, other: "TimingBreakdown") -> None:
+        for name, seconds in other.components.items():
+            self.add(name, seconds)

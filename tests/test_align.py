@@ -1,0 +1,221 @@
+"""Tests for the alignment substrate: scoring, banded extension vs the
+unbanded reference, full-DP overlap alignment, pattern classification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align import (
+    AcceptanceCriteria,
+    AlignmentResult,
+    OverlapPattern,
+    ScoringParams,
+    classify_pattern,
+    extend_overlap,
+    extend_overlap_ref,
+    global_align_score,
+    overlap_align,
+)
+from repro.sequence import encode
+
+P = ScoringParams()
+dna = st.text(alphabet="ACGT", min_size=0, max_size=16)
+codes = st.lists(st.integers(0, 3), min_size=0, max_size=16).map(
+    lambda v: np.array(v, dtype=np.uint8)
+)
+
+
+class TestScoringParams:
+    def test_defaults_valid(self):
+        ScoringParams()
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            ScoringParams(match=0)
+        with pytest.raises(ValueError):
+            ScoringParams(mismatch=1)
+        with pytest.raises(ValueError):
+            ScoringParams(gap_open=0)
+        with pytest.raises(ValueError):
+            ScoringParams(gap_extend=1)
+
+
+class TestAcceptance:
+    def test_ratio_and_overlap_thresholds(self):
+        crit = AcceptanceCriteria(min_score_ratio=0.9, min_overlap=10)
+        good = AlignmentResult(
+            score=P.match * 20, a_start=0, a_end=20, b_start=0, b_end=20,
+            pattern=OverlapPattern.A_CONTAINS_B, dp_cells=0,
+        )
+        assert good.score_ratio(P) == pytest.approx(1.0)
+        assert good.accepted(P, crit)
+        short = AlignmentResult(
+            score=P.match * 5, a_start=0, a_end=5, b_start=0, b_end=5,
+            pattern=OverlapPattern.A_CONTAINS_B, dp_cells=0,
+        )
+        assert not short.accepted(P, crit)  # overlap too short
+        weak = AlignmentResult(
+            score=P.match * 20 * 0.5, a_start=0, a_end=20, b_start=0, b_end=20,
+            pattern=OverlapPattern.A_CONTAINS_B, dp_cells=0,
+        )
+        assert not weak.accepted(P, crit)  # ratio too low
+
+    def test_overlap_len_is_longer_span(self):
+        r = AlignmentResult(0, 0, 10, 3, 9, OverlapPattern.A_CONTAINS_B, 0)
+        assert r.overlap_len == 10
+
+    def test_criteria_validation(self):
+        with pytest.raises(ValueError):
+            AcceptanceCriteria(min_score_ratio=1.5)
+        with pytest.raises(ValueError):
+            AcceptanceCriteria(min_overlap=0)
+
+
+class TestBandedExtension:
+    @given(codes, codes)
+    @settings(max_examples=80, deadline=None)
+    def test_wide_band_matches_unbanded_reference(self, x, y):
+        got = extend_overlap(x, y, P, band=64)
+        ref = extend_overlap_ref(x, y, P)
+        assert got.score == pytest.approx(ref.score)
+
+    @given(codes, codes, st.integers(0, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_banded_never_beats_unbanded(self, x, y, band):
+        got = extend_overlap(x, y, P, band=band)
+        ref = extend_overlap_ref(x, y, P)
+        assert got.score <= ref.score + 1e-9
+
+    def test_perfect_match_consumes_both(self):
+        x = encode("ACGTACGTAC")
+        r = extend_overlap(x, x.copy(), P, band=3)
+        assert r.score == P.match * len(x)
+        assert r.consumed_x == r.consumed_y == len(x)
+
+    def test_empty_side_short_circuits(self):
+        r = extend_overlap(encode("ACGT"), np.array([], dtype=np.uint8), P, band=3)
+        assert r == (0.0, 0, 0, 0)
+
+    def test_dovetail_stops_at_shorter_string(self):
+        x = encode("ACGTACGTACGTACGT")
+        y = encode("ACGTA")
+        r = extend_overlap(x, y, P, band=3)
+        assert r.consumed_y == 5 and r.consumed_x == 5
+        assert r.score == P.match * 5
+
+    def test_single_mismatch_tolerated(self):
+        x = encode("ACGTACGTAC")
+        y = encode("ACGTTCGTAC")
+        r = extend_overlap(x, y, P, band=3)
+        assert r.score == P.match * 9 + P.mismatch
+        assert r.consumed_x == r.consumed_y == 10
+
+    def test_single_indel_tolerated(self):
+        x = encode("ACGTACGTAC")
+        y = encode("ACGTCGTAC")  # one deletion
+        r = extend_overlap(x, y, P, band=3)
+        assert r.score == P.match * 9 + P.gap_open
+        assert r.consumed_x == 10 and r.consumed_y == 9
+
+    def test_band_narrower_than_length_gap_fails_gracefully(self):
+        x = encode("A" * 30)
+        y = encode("C")
+        r = extend_overlap(x, y, P, band=0)
+        # No legal end in band: pessimistic pure-gap score, never positive.
+        assert r.score < 0
+
+    def test_dp_cells_reflect_band(self):
+        x = encode("ACGT" * 10)
+        narrow = extend_overlap(x, x.copy(), P, band=2)
+        wide = extend_overlap(x, x.copy(), P, band=20)
+        assert narrow.dp_cells < wide.dp_cells
+
+    def test_negative_band_rejected(self):
+        with pytest.raises(ValueError):
+            extend_overlap(encode("A"), encode("A"), P, band=-1)
+
+
+class TestGlobalAlign:
+    def test_identity(self):
+        x = encode("ACGTACGT")
+        assert global_align_score(x, x.copy(), P) == P.match * 8
+
+    def test_single_substitution(self):
+        assert global_align_score(encode("ACGT"), encode("AGGT"), P) == 3 * P.match + P.mismatch
+
+    def test_gap_vs_mismatch_choice(self):
+        # len-1 vs len-2: forced gap.
+        assert global_align_score(encode("A"), encode("AC"), P) == P.match + P.gap_open
+
+    @given(codes.filter(lambda a: len(a) > 0))
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry(self, x):
+        y = (x + 1) % 4
+        assert global_align_score(x, y, P) == pytest.approx(global_align_score(y, x, P))
+
+
+class TestOverlapAlign:
+    def test_clean_dovetail(self):
+        a = encode("TTTTTACGTACGTA")
+        b = encode("ACGTACGTACCCCC")
+        res = overlap_align(a, b, P)
+        assert res.pattern == OverlapPattern.SUFFIX_A_PREFIX_B
+        assert res.a_start == 5 and res.a_end == 14
+        assert res.b_start == 0
+        assert res.ops is not None and set(res.ops) <= {"M"}
+
+    def test_containment_both_ways(self):
+        outer = encode("TTTTACGTACGTACGTTTT")
+        inner = encode("ACGTACGTACGT")
+        res = overlap_align(outer, inner, P)
+        assert res.pattern == OverlapPattern.A_CONTAINS_B
+        res2 = overlap_align(inner, outer, P)
+        assert res2.pattern == OverlapPattern.B_CONTAINS_A
+
+    def test_ops_consume_spans(self):
+        a = encode("GGGACGTACGTT")
+        b = encode("ACGTACGTTCCC")
+        res = overlap_align(a, b, P)
+        consumed_a = sum(1 for c in res.ops if c in "MXD")
+        consumed_b = sum(1 for c in res.ops if c in "MXI")
+        assert consumed_a == res.a_end - res.a_start
+        assert consumed_b == res.b_end - res.b_start
+
+    def test_score_matches_ops(self):
+        a = encode("GGGACGTACGTT")
+        b = encode("ACGTTCGTTCCC")
+        res = overlap_align(a, b, P)
+        score = 0.0
+        prev = None
+        for op in res.ops:
+            if op == "M":
+                score += P.match
+            elif op == "X":
+                score += P.mismatch
+            else:
+                score += P.gap_extend if prev == op else P.gap_open
+            prev = op
+        assert res.score == pytest.approx(score)
+
+    @given(codes.filter(lambda a: len(a) >= 2), codes.filter(lambda a: len(a) >= 2))
+    @settings(max_examples=50, deadline=None)
+    def test_always_classifies(self, x, y):
+        res = overlap_align(x, y, P)
+        assert isinstance(res.pattern, OverlapPattern)
+
+
+class TestClassifyPattern:
+    def test_four_shapes(self):
+        assert classify_pattern(5, 10, 10, 0, 5, 9) == OverlapPattern.SUFFIX_A_PREFIX_B
+        assert classify_pattern(0, 5, 9, 5, 10, 10) == OverlapPattern.SUFFIX_B_PREFIX_A
+        assert classify_pattern(2, 8, 10, 0, 6, 6) == OverlapPattern.A_CONTAINS_B
+        assert classify_pattern(0, 10, 10, 2, 12, 14) == OverlapPattern.B_CONTAINS_A
+
+    def test_containment_precedence(self):
+        # Both full: flush-equal strings count as containment.
+        assert classify_pattern(0, 8, 8, 0, 8, 8) == OverlapPattern.A_CONTAINS_B
+
+    def test_impossible_spans_raise(self):
+        with pytest.raises(AssertionError):
+            classify_pattern(1, 5, 10, 1, 5, 10)

@@ -1,0 +1,109 @@
+"""Hypothesis invariants of the overlap aligner's spans and transcripts."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align import ScoringParams, overlap_align
+
+P = ScoringParams()
+
+
+def _reads(seed: int):
+    rng = np.random.default_rng(seed)
+    core = rng.integers(0, 4, int(rng.integers(10, 60))).astype(np.uint8)
+    a = np.concatenate([rng.integers(0, 4, int(rng.integers(0, 15))).astype(np.uint8), core])
+    b = np.concatenate([core, rng.integers(0, 4, int(rng.integers(0, 15))).astype(np.uint8)])
+    return a, b
+
+
+seeds = st.integers(0, 10**6)
+
+
+class TestOverlapAlignInvariants:
+    @given(seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_spans_within_bounds(self, seed):
+        a, b = _reads(seed)
+        res = overlap_align(a, b, P)
+        assert 0 <= res.a_start <= res.a_end <= len(a)
+        assert 0 <= res.b_start <= res.b_end <= len(b)
+
+    @given(seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_ops_consume_exactly_the_spans(self, seed):
+        a, b = _reads(seed)
+        res = overlap_align(a, b, P)
+        consumed_a = sum(1 for op in res.ops if op in "MXD")
+        consumed_b = sum(1 for op in res.ops if op in "MXI")
+        assert consumed_a == res.a_end - res.a_start
+        assert consumed_b == res.b_end - res.b_start
+
+    @given(seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_ops_score_equals_reported_score(self, seed):
+        a, b = _reads(seed)
+        res = overlap_align(a, b, P)
+        score = 0.0
+        i, j = res.a_start, res.b_start
+        prev = None
+        for op in res.ops:
+            if op in "MX":
+                score += P.match if a[i] == b[j] else P.mismatch
+                i += 1
+                j += 1
+                prev = None
+            elif op == "D":
+                score += P.gap_extend if prev == "D" else P.gap_open
+                i += 1
+                prev = "D"
+            else:
+                score += P.gap_extend if prev == "I" else P.gap_open
+                j += 1
+                prev = "I"
+        assert score == res.score
+
+    @given(seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_m_and_x_ops_are_truthful(self, seed):
+        a, b = _reads(seed)
+        res = overlap_align(a, b, P)
+        i, j = res.a_start, res.b_start
+        for op in res.ops:
+            if op == "M":
+                assert a[i] == b[j]
+                i, j = i + 1, j + 1
+            elif op == "X":
+                assert a[i] != b[j]
+                i, j = i + 1, j + 1
+            elif op == "D":
+                i += 1
+            else:
+                j += 1
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_score_at_least_shared_core(self, seed):
+        """Our constructed pairs share a core: the optimal overlap scores
+        at least the plain all-match core alignment."""
+        a, b = _reads(seed)
+        res = overlap_align(a, b, P)
+        # The shared core is the longest suffix of a equal to a prefix of b.
+        shared = 0
+        max_k = min(len(a), len(b))
+        for k in range(max_k, 0, -1):
+            if np.array_equal(a[len(a) - k :], b[:k]):
+                shared = k
+                break
+        assert res.score >= P.match * shared - 1e-9
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_swap_symmetry(self, seed):
+        """Swapping the inputs mirrors the result."""
+        a, b = _reads(seed)
+        r1 = overlap_align(a, b, P)
+        r2 = overlap_align(b, a, P)
+        assert r1.score == r2.score
+        assert (r1.a_start, r1.a_end) == (r2.b_start, r2.b_end)
+        assert (r1.b_start, r1.b_end) == (r2.a_start, r2.a_end)

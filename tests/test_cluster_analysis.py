@@ -1,0 +1,68 @@
+"""Tests for cluster profiling and merge-evidence review."""
+
+import pytest
+
+from repro.align.scoring import AlignmentResult, OverlapPattern, ScoringParams
+from repro.cluster.analysis import profile_clusters, suspicious_merges
+from repro.cluster.manager import MergeRecord
+from repro.pairs import Pair
+
+
+class TestProfileClusters:
+    def test_basic_profile(self):
+        prof = profile_clusters([[0, 1, 2], [3], [4, 5], [6]])
+        assert prof.n_ests == 7
+        assert prof.n_clusters == 4
+        assert prof.n_singletons == 2
+        assert prof.largest == 3
+        assert prof.mean_size == pytest.approx(1.75)
+        assert prof.median_size == pytest.approx(1.5)
+        assert prof.size_histogram == ((1, 2), (2, 1), (3, 1))
+        assert prof.singleton_fraction == pytest.approx(0.5)
+
+    def test_empty(self):
+        prof = profile_clusters([])
+        assert prof.n_clusters == 0 and prof.singleton_fraction == 0.0
+
+    def test_odd_median(self):
+        prof = profile_clusters([[0], [1, 2], [3, 4, 5]])
+        assert prof.median_size == 2.0
+
+    def test_str_renders(self):
+        assert "singletons" in str(profile_clusters([[0], [1, 2]]))
+
+    def test_profile_of_pipeline_result(self, small_benchmark, small_config):
+        from repro.core import PaceClusterer
+
+        result = PaceClusterer(small_config).cluster(small_benchmark.collection)
+        prof = profile_clusters(result.clusters)
+        assert prof.n_ests == small_benchmark.n_ests
+        assert prof.n_clusters == result.n_clusters
+
+
+class TestSuspiciousMerges:
+    def _merge(self, ratio: float) -> MergeRecord:
+        p = ScoringParams()
+        overlap = 50
+        score = ratio * p.match * overlap
+        return MergeRecord(
+            pair=Pair(20, 0, 0, 2, 0),
+            result=AlignmentResult(
+                score, 0, overlap, 0, overlap, OverlapPattern.A_CONTAINS_B, 0
+            ),
+        )
+
+    def test_flags_only_weak_witnesses(self):
+        merges = [self._merge(0.99), self._merge(0.85), self._merge(0.90)]
+        flagged = suspicious_merges(merges, max_ratio=0.92)
+        assert len(flagged) == 2
+
+    def test_sorted_weakest_first(self):
+        merges = [self._merge(0.90), self._merge(0.85)]
+        flagged = suspicious_merges(merges, max_ratio=0.92)
+        p = ScoringParams()
+        ratios = [rec.result.score_ratio(p) for rec in flagged]
+        assert ratios == sorted(ratios)
+
+    def test_clean_run_flags_nothing(self):
+        assert suspicious_merges([self._merge(1.0)], max_ratio=0.92) == []

@@ -1,0 +1,112 @@
+"""Tests for the seed-and-extend pair aligner (Fig. 5a engine)."""
+
+import pytest
+
+from repro.align import (
+    AcceptanceCriteria,
+    BandPolicy,
+    OverlapPattern,
+    PairAligner,
+    ScoringParams,
+)
+from repro.pairs import Pair
+from repro.sequence import EstCollection, reverse_complement_str
+
+
+def _pair_for(col: EstCollection, i: int, j: int, orient: int, seed: str) -> Pair:
+    """Build a Pair from an exact shared substring (test helper)."""
+    a = col.est_string(i)
+    sb = col.est_string(j) if orient == 0 else reverse_complement_str(col.est_string(j))
+    off_a, off_b = a.index(seed), sb.index(seed)
+    return Pair(len(seed), 2 * i, off_a, 2 * j + orient, off_b)
+
+
+class TestBandPolicy:
+    def test_band_grows_with_extension(self):
+        bp = BandPolicy(band_rate=0.1, band_min=3)
+        assert bp.band_for(10) == 3  # floor
+        assert bp.band_for(200) == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BandPolicy(band_rate=1.5)
+        with pytest.raises(ValueError):
+            BandPolicy(band_min=-1)
+
+    def test_rate_one_disables_banding(self):
+        assert BandPolicy(band_rate=1.0, band_min=0).band_for(500) == 500
+
+
+class TestPairAligner:
+    def setup_method(self):
+        # b extends a to the right; c is contained in a; d is unrelated.
+        self.col = EstCollection.from_strings(
+            [
+                "TTTTTTTTTTACGTACGTACGTCCCC",  # a
+                "ACGTACGTACGTCCCCGGGGGGGG",  # b: dovetail with a
+                "ACGTACGTACGT",  # c: contained in a
+                "CACACACACACACACACACA",  # d
+            ]
+        )
+        self.aligner = PairAligner(
+            self.col,
+            criteria=AcceptanceCriteria(min_score_ratio=0.8, min_overlap=10),
+        )
+
+    def test_dovetail_detected_and_accepted(self):
+        pair = _pair_for(self.col, 0, 1, 0, "ACGTACGTACGTCCCC")
+        result, ok = self.aligner.align_and_decide(pair)
+        assert ok
+        assert result.pattern == OverlapPattern.SUFFIX_A_PREFIX_B
+        assert result.a_end == self.col.length(0)
+        assert result.b_start == 0
+
+    def test_containment_detected(self):
+        pair = _pair_for(self.col, 0, 2, 0, "ACGTACGTACGT")
+        result, ok = self.aligner.align_and_decide(pair)
+        assert ok
+        assert result.pattern == OverlapPattern.A_CONTAINS_B
+
+    def test_score_counts_seed_plus_extensions(self):
+        pair = _pair_for(self.col, 0, 2, 0, "ACGTACGT")  # seed shorter than overlap
+        result = self.aligner.align_pair(pair)
+        # The full 12-char containment should be recovered around the seed.
+        assert result.score == ScoringParams().match * 12
+
+    def test_reverse_complement_pair(self):
+        # EST 1 vs the rc of EST 1's tail placed as a new EST.
+        col = EstCollection.from_strings(
+            ["AAAACGTACGTACGTACC", reverse_complement_str("CGTACGTACGTACC")]
+        )
+        aligner = PairAligner(col, criteria=AcceptanceCriteria(0.8, 10))
+        pair = Pair(14, 0, 4, 3, 0)
+        result, ok = aligner.align_and_decide(pair)
+        assert ok and result.overlap_len == 14
+
+    def test_counters_accumulate(self):
+        pair = _pair_for(self.col, 0, 2, 0, "ACGTACGTACGT")
+        before = self.aligner.alignments_performed
+        self.aligner.align_pair(pair)
+        self.aligner.align_pair(pair)
+        assert self.aligner.alignments_performed == before + 2
+        assert self.aligner.dp_cells_total > 0
+
+    def test_full_dp_mode_uses_whole_strings(self):
+        full = PairAligner(
+            self.col,
+            criteria=AcceptanceCriteria(min_score_ratio=0.8, min_overlap=10),
+            use_seed_extension=False,
+        )
+        pair = _pair_for(self.col, 0, 1, 0, "ACGTACGTACGTCCCC")
+        r_full = full.align_pair(pair)
+        r_seed = self.aligner.align_pair(pair)
+        # Same accepted overlap, vastly more DP cells.
+        assert r_full.pattern == r_seed.pattern
+        assert r_full.dp_cells > 5 * r_seed.dp_cells
+
+    def test_unrelated_pair_rejected(self):
+        # Force-align a with d on a fake 4-char seed: should fail acceptance.
+        a = self.col.est_string(0)
+        pair = Pair(2, 0, a.index("CA") if "CA" in a else 0, 6, 0)
+        _result, ok = self.aligner.align_and_decide(pair)
+        assert not ok

@@ -1,0 +1,47 @@
+"""Tests for the seed-length acceptance analysis (§2 premise)."""
+
+import pytest
+
+from repro.metrics.heuristic import SeedLengthBin, seed_length_acceptance
+
+
+class TestSeedLengthBins:
+    def test_bin_properties(self):
+        b = SeedLengthBin(lo=10, hi=20, n_pairs=4, n_accepted=3, mean_ratio=0.8)
+        assert b.acceptance_rate == pytest.approx(0.75)
+        assert SeedLengthBin(0, 10, 0, 0, 0.0).acceptance_rate == 0.0
+
+
+class TestSeedLengthAcceptance:
+    def test_curve_shape_on_benchmark(self, small_benchmark, small_config):
+        bins = seed_length_acceptance(
+            small_benchmark.collection, config=small_config, bin_width=15
+        )
+        assert bins
+        assert all(b.lo >= small_config.psi - 15 for b in bins)
+        # Bins sorted by seed length, total pairs positive.
+        los = [b.lo for b in bins]
+        assert los == sorted(los)
+        assert sum(b.n_pairs for b in bins) > 0
+        # The premise: the longest-seed bin accepts at a higher rate than
+        # the shortest.
+        assert bins[-1].acceptance_rate >= bins[0].acceptance_rate
+
+    def test_each_pair_counted_once(self, small_benchmark, small_config):
+        from repro.pairs import SaPairGenerator
+        from repro.suffix import SuffixArrayGst
+
+        gst = SuffixArrayGst.build(small_benchmark.collection)
+        distinct = {
+            p.key for p in SaPairGenerator(gst, psi=small_config.psi).pairs()
+        }
+        bins = seed_length_acceptance(
+            small_benchmark.collection, config=small_config, gst=gst
+        )
+        assert sum(b.n_pairs for b in bins) == len(distinct)
+
+    def test_max_pairs_caps_work(self, small_benchmark, small_config):
+        bins = seed_length_acceptance(
+            small_benchmark.collection, config=small_config, max_pairs=10
+        )
+        assert sum(b.n_pairs for b in bins) == 10

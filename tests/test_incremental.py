@@ -1,0 +1,67 @@
+"""Tests for incremental clustering — the paper's §5 open problem."""
+
+import pytest
+
+from repro.core import ClusteringConfig, IncrementalClusterer, PaceClusterer
+from repro.metrics import assess_clustering
+from repro.sequence import EstCollection
+
+
+def _split_batches(bench, n_batches=3):
+    reads = [bench.collection.est(i).copy() for i in range(bench.n_ests)]
+    size = (len(reads) + n_batches - 1) // n_batches
+    return [reads[i : i + size] for i in range(0, len(reads), size)]
+
+
+class TestIncrementalClusterer:
+    def test_single_batch_equals_scratch(self, small_benchmark, small_config):
+        inc = IncrementalClusterer(small_config)
+        inc.add_batch([small_benchmark.collection.est(i).copy() for i in range(small_benchmark.n_ests)])
+        scratch = PaceClusterer(small_config).cluster(small_benchmark.collection)
+        assert inc.clusters() == scratch.clusters
+
+    def test_multi_batch_matches_scratch_quality(self, small_benchmark, small_config):
+        inc = IncrementalClusterer(small_config)
+        for batch in _split_batches(small_benchmark, 3):
+            inc.add_batch(batch)
+        scratch = PaceClusterer(small_config).cluster(small_benchmark.collection)
+        q = assess_clustering(inc.clusters(), scratch.clusters, small_benchmark.n_ests)
+        # Incremental must agree with scratch (identical pair universe; the
+        # only admissible deviation is seed-variance on borderline pairs).
+        assert q.oq > 99.0 and q.cc > 99.0
+
+    def test_later_batches_skip_old_old_pairs(self, small_benchmark, small_config):
+        batches = _split_batches(small_benchmark, 2)
+        inc = IncrementalClusterer(small_config)
+        r1 = inc.add_batch(batches[0])
+        r2 = inc.add_batch(batches[1])
+        # Round 2 re-generates the full pair universe but aligns only
+        # pairs touching the new batch: strictly less alignment than the
+        # full-universe generation would imply.
+        assert r2.counters.pairs_processed < r2.counters.pairs_generated
+        assert inc.rounds == 2
+        assert inc.n_ests == small_benchmark.n_ests
+
+    def test_new_est_bridges_old_clusters(self, small_config):
+        # Two reads that share no 8-mer (checked by construction), then a
+        # third overlapping both by 32 bp: adding it must merge the two
+        # existing clusters — the genuinely "incremental" event.
+        left = "TGGCCAAAATGTGGTGGGGTCTGACTGATGTAATAGACCC"
+        right = "CAAAAGGGCGTCCTTTCGTGTGGCTAGGTGCCCCGTATGC"
+        bridge = left[8:] + right[:32]
+        cfg = ClusteringConfig.small_reads(psi=8, w=4)
+        inc = IncrementalClusterer(cfg)
+        from repro.sequence import encode
+
+        inc.add_batch([encode(left), encode(right)])
+        assert len(inc.clusters()) == 2
+        inc.add_batch([encode(bridge)])
+        assert len(inc.clusters()) == 1
+
+    def test_empty_batch_rejected(self, small_config):
+        with pytest.raises(ValueError):
+            IncrementalClusterer(small_config).add_batch([])
+
+    def test_labels_before_any_batch(self, small_config):
+        inc = IncrementalClusterer(small_config)
+        assert inc.labels() == [] and inc.clusters() == [] and inc.n_ests == 0

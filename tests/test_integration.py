@@ -1,0 +1,137 @@
+"""End-to-end integration tests across the whole system.
+
+These are the tests that tie the reproduction to the paper's claims:
+order-independence of the final partition, robustness to sequencing
+errors, strand-invariance, parity between all execution engines, and the
+conservative (UN > OV) quality profile of Table 2.
+"""
+
+import numpy as np
+import pytest
+
+from repro.align import AcceptanceCriteria
+from repro.baselines import allpairs_cluster
+from repro.core import ClusteringConfig, PaceClusterer
+from repro.metrics import assess_clustering
+from repro.parallel import cluster_multiprocessing, simulate_clustering
+from repro.sequence import EstCollection, reverse_complement
+from repro.simulate import BenchmarkParams, ErrorModel, ReadParams, make_benchmark
+
+
+class TestOrderIndependence:
+    def test_partition_invariant_under_pair_order(self, small_benchmark, small_config):
+        """The final partition is the connected components of the
+        accepted-pair graph, so any processing order yields the same
+        clusters (the property that makes parallel == sequential)."""
+        base = PaceClusterer(small_config).cluster(small_benchmark.collection).clusters
+        for seed in (0, 1, 2):
+            shuffled = allpairs_cluster(
+                small_benchmark.collection, small_config, order="arbitrary", rng=seed
+            )
+            assert shuffled.result.clusters == base
+        worst = allpairs_cluster(
+            small_benchmark.collection, small_config, order="worst_first"
+        )
+        assert worst.result.clusters == base
+
+
+class TestEngineParity:
+    def test_all_four_engines_agree(self, small_benchmark, small_config):
+        col = small_benchmark.collection
+        seq_sa = PaceClusterer(small_config).cluster(col).clusters
+        seq_tree = PaceClusterer(
+            ClusteringConfig.small_reads(backend="tree")
+        ).cluster(col).clusters
+        sim = simulate_clustering(col, small_config, n_processors=5).result.clusters
+        mp = cluster_multiprocessing(col, small_config, n_processors=3).clusters
+        assert seq_sa == seq_tree == sim == mp
+
+
+class TestErrorRobustness:
+    @pytest.mark.parametrize("error_total", [0.0, 0.01, 0.02, 0.04])
+    def test_quality_degrades_gracefully(self, error_total):
+        sub = error_total / 2
+        indel = error_total / 4
+        params = BenchmarkParams(
+            n_genes=8,
+            mean_ests_per_gene=10,
+            read_params=ReadParams.short_reads(),
+            error_model=ErrorModel(sub, indel, indel),
+            n_exons_range=(1, 3),
+            exon_len_range=(80, 200),
+        )
+        bench = make_benchmark(params, rng=42)
+        cfg = ClusteringConfig.small_reads(
+            acceptance=AcceptanceCriteria(min_score_ratio=0.7, min_overlap=30)
+        )
+        result = PaceClusterer(cfg).cluster(bench.collection)
+        q = assess_clustering(result.clusters, bench.true_clusters(), bench.n_ests)
+        assert q.cc > 80.0, f"CC collapsed at error rate {error_total}: {q}"
+        assert q.ov < 20.0
+
+    def test_conservative_profile_un_exceeds_ov(self, small_benchmark, small_config):
+        """Table 2's signature: under-prediction > over-prediction."""
+        result = PaceClusterer(small_config).cluster(small_benchmark.collection)
+        q = assess_clustering(
+            result.clusters, small_benchmark.true_clusters(), small_benchmark.n_ests
+        )
+        assert q.un >= q.ov
+
+
+class TestStrandInvariance:
+    def test_reverse_complementing_inputs_keeps_partition(
+        self, small_benchmark, small_config
+    ):
+        """Flipping any EST to its reverse complement must not change the
+        clustering — the doubled string set S sees both strands anyway."""
+        col = small_benchmark.collection
+        rng = np.random.default_rng(0)
+        flipped = []
+        for i in range(col.n_ests):
+            est = col.est(i).copy()
+            if rng.random() < 0.5:
+                est = reverse_complement(est)
+            flipped.append(est)
+        col2 = EstCollection(flipped)
+        a = PaceClusterer(small_config).cluster(col).clusters
+        b = PaceClusterer(small_config).cluster(col2).clusters
+        assert a == b
+
+
+class TestScalingShape:
+    def test_fig7_shape_processed_much_less_than_generated(
+        self, small_benchmark, small_config
+    ):
+        c = PaceClusterer(small_config).cluster(small_benchmark.collection).counters
+        assert c.pairs_processed < 0.25 * c.pairs_generated
+        assert 0 < c.pairs_accepted <= c.pairs_processed
+
+    def test_fig6a_speedup_monotone(self, small_benchmark, small_config):
+        from repro.suffix import SuffixArrayGst
+
+        gst = SuffixArrayGst.build(small_benchmark.collection)
+        times = {
+            p: simulate_clustering(
+                small_benchmark.collection, small_config, n_processors=p, gst=gst
+            ).total_time
+            for p in (2, 4, 8, 16)
+        }
+        assert times[2] > times[4] > times[8] > times[16]
+
+    def test_duplicate_reads_cluster_trivially(self, small_config):
+        reads = ["ACGTACGTACGTACGTACGTACGTACGTACGTAGTCAGTC"] * 5 + [
+            "TTTTGGGGCCCCAAAATTTTGGGGCCCCAAAATGCATGCA"
+        ] * 4
+        cfg = ClusteringConfig.small_reads(
+            acceptance=AcceptanceCriteria(min_score_ratio=0.9, min_overlap=30)
+        )
+        result = PaceClusterer(cfg).cluster(EstCollection.from_strings(reads))
+        assert result.n_clusters == 2
+        assert sorted(len(c) for c in result.clusters) == [4, 5]
+
+    def test_singleton_input(self, small_config):
+        result = PaceClusterer(small_config).cluster(
+            EstCollection.from_strings(["ACGTACGTACGTACGTACGT"])
+        )
+        assert result.clusters == [[0]]
+        assert result.counters.pairs_generated == 0

@@ -1,0 +1,130 @@
+"""Tests for the LCP-interval forest (suffix-tree node recovery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequence import EstCollection
+from repro.suffix import build_lcp_forest, build_suffix_array
+from repro.suffix.lcp import lcp_array
+
+dna_lists = st.lists(st.text(alphabet="ACGT", min_size=1, max_size=25), min_size=1, max_size=4)
+
+
+def _forest_for(seqs, min_depth=1, lo=0, hi=None):
+    text, _ = EstCollection.from_strings(seqs).sa_text()
+    sa = build_suffix_array(text)
+    return build_lcp_forest(lcp_array(sa), min_depth=min_depth, lo=lo, hi=hi), sa
+
+
+class TestForestStructure:
+    @given(dna_lists, st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_validate_invariants(self, seqs, min_depth):
+        forest, _sa = _forest_for(seqs, min_depth)
+        forest.validate()
+
+    @given(dna_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_all_depths_at_least_threshold(self, seqs):
+        forest, _ = _forest_for(seqs, min_depth=3)
+        assert (forest.depth >= 3).all() or forest.n_nodes == 0
+
+    def test_known_tree_shape(self):
+        # "AA" + "AA": S = {AA, TT, AA, TT} (reverse complements included).
+        # Each letter side contributes a depth-1 interval with a depth-2
+        # interval (the identical 2-char suffixes) nested inside.
+        forest, _ = _forest_for(["AA", "AA"], min_depth=1)
+        assert sorted(forest.depth.tolist()) == [1, 1, 2, 2]
+        forest.validate()
+        for nid in range(forest.n_nodes):
+            if forest.depth[nid] == 2:
+                parent = int(forest.parent[nid])
+                assert forest.depth[parent] == 1
+                assert forest.parent[parent] == -1
+
+    @given(dna_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_every_interval_shares_prefix_of_its_depth(self, seqs):
+        text, _ = EstCollection.from_strings(seqs).sa_text()
+        sa = build_suffix_array(text)
+        forest = build_lcp_forest(lcp_array(sa), min_depth=1)
+        text_list = text.tolist()
+        for nid in range(forest.n_nodes):
+            d = int(forest.depth[nid])
+            ps = [int(sa.sa[r]) for r in range(forest.lb[nid], forest.rb[nid] + 1)]
+            first = text_list[ps[0] : ps[0] + d]
+            assert len(first) == d
+            for p in ps[1:]:
+                assert text_list[p : p + d] == first
+
+    @given(dna_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_intervals_are_maximal(self, seqs):
+        # Some adjacent pair inside the interval achieves exactly depth d,
+        # and the neighbours outside share strictly less than d.
+        text, _ = EstCollection.from_strings(seqs).sa_text()
+        sa = build_suffix_array(text)
+        lcp = lcp_array(sa)
+        forest = build_lcp_forest(lcp, min_depth=1)
+        m = len(lcp)
+        for nid in range(forest.n_nodes):
+            d, lb, rb = (int(forest.depth[nid]), int(forest.lb[nid]), int(forest.rb[nid]))
+            inner = [int(lcp[r]) for r in range(lb + 1, rb + 1)]
+            assert inner and min(inner) == d
+            if lb > 0:
+                assert lcp[lb] < d
+            if rb + 1 < m:
+                assert lcp[rb + 1] < d
+
+    def test_nodes_by_decreasing_depth_children_first(self):
+        forest, _ = _forest_for(["ACGTACGTAC", "GTACGTACGG", "ACGTAC"], min_depth=1)
+        order = forest.nodes_by_decreasing_depth()
+        pos = {int(n): i for i, n in enumerate(order)}
+        for nid in range(forest.n_nodes):
+            p = int(forest.parent[nid])
+            if p >= 0:
+                assert pos[nid] < pos[p]
+
+    def test_roots_have_no_parent(self):
+        forest, _ = _forest_for(["ACGTACGT", "CGTACGTA"], min_depth=2)
+        for r in forest.roots():
+            assert forest.parent[r] == -1
+
+
+class TestForestRanges:
+    def test_range_restriction_matches_global_deep_nodes(self):
+        seqs = ["ACGTACGTACGT", "CGTACGTACGAA", "TTACGTACGT"]
+        text, _ = EstCollection.from_strings(seqs).sa_text()
+        sa = build_suffix_array(text)
+        lcp = lcp_array(sa)
+        glob = build_lcp_forest(lcp, min_depth=4)
+        # Split the rank space at every lcp < 4 boundary: nodes with depth
+        # >= 4 never span such boundaries, so per-range forests together
+        # must equal the global deep forest.
+        m = len(lcp)
+        cuts = [0] + [r for r in range(1, m) if lcp[r] < 4] + [m]
+        collected = []
+        for lo, hi in zip(cuts[:-1], cuts[1:]):
+            if hi > lo:
+                f = build_lcp_forest(lcp, min_depth=4, lo=lo, hi=hi)
+                collected.extend(
+                    (int(f.depth[i]), int(f.lb[i]), int(f.rb[i]))
+                    for i in range(f.n_nodes)
+                )
+        expected = [
+            (int(glob.depth[i]), int(glob.lb[i]), int(glob.rb[i]))
+            for i in range(glob.n_nodes)
+        ]
+        assert sorted(collected) == sorted(expected)
+
+    def test_bad_args_rejected(self):
+        forest, sa = _forest_for(["ACGT"])
+        lcp = np.zeros(4)
+        with pytest.raises(ValueError):
+            build_lcp_forest(lcp, min_depth=0)
+        with pytest.raises(ValueError):
+            build_lcp_forest(lcp, min_depth=1, lo=3, hi=2)
+        with pytest.raises(ValueError):
+            build_lcp_forest(lcp, min_depth=1, lo=2, hi=9)

@@ -1,0 +1,154 @@
+"""Tests for the greedy k-difference (Landau-Vishkin) extension engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align import AcceptanceCriteria, PairAligner, ScoringParams, extend_overlap
+from repro.align.kdiff import edit_distance_extension, kdiff_extend, score_ops
+from repro.sequence import EstCollection, encode
+
+P = ScoringParams()
+codes = st.lists(st.integers(0, 3), min_size=0, max_size=14).map(
+    lambda v: np.array(v, dtype=np.uint8)
+)
+
+
+class TestKdiffExtend:
+    def test_perfect_match(self):
+        x = encode("ACGTACGTAC")
+        r = kdiff_extend(x, x.copy(), P, 3)
+        assert r.score == P.match * 10
+        assert r.consumed_x == r.consumed_y == 10
+
+    def test_single_substitution(self):
+        x = encode("ACGTACGTAC")
+        y = encode("ACGTTCGTAC")
+        r = kdiff_extend(x, y, P, 3)
+        assert r.score == P.match * 9 + P.mismatch
+        assert r.consumed_x == r.consumed_y == 10
+
+    def test_single_indel(self):
+        x = encode("ACGTACGTAC")
+        y = encode("ACGTCGTAC")
+        r = kdiff_extend(x, y, P, 3)
+        assert r.score == P.match * 9 + P.gap_open
+        assert (r.consumed_x, r.consumed_y) == (10, 9)
+
+    def test_dovetail_stops_at_short_string(self):
+        x = encode("ACGTACGTACGTACGT")
+        y = encode("ACGTA")
+        r = kdiff_extend(x, y, P, 3)
+        assert (r.consumed_x, r.consumed_y) == (5, 5)
+
+    def test_empty_side(self):
+        r = kdiff_extend(encode("ACGT"), np.array([], dtype=np.uint8), P, 3)
+        assert r == (0.0, 0, 0, 0)
+
+    def test_budget_exhausted_fallback_rejects(self):
+        x = encode("AAAAAAAAAA")
+        y = encode("CCCCCCCCCC")
+        r = kdiff_extend(x, y, P, 2)
+        assert r.score < 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            kdiff_extend(encode("A"), encode("A"), P, -1)
+
+    @given(codes, codes)
+    @settings(max_examples=80, deadline=None)
+    def test_edit_count_matches_reference_dp(self, x, y):
+        """The minimum-edit objective agrees with the full-DP oracle."""
+        ref_edits, _ri, _rj = edit_distance_extension(x, y)
+        budget = max(len(x), len(y)) + 1
+        r = kdiff_extend(x, y, P, budget)
+        # Recover edits from the score path by recomputing both ways is
+        # awkward; instead assert reachability: with budget == ref_edits
+        # the extension succeeds, with budget == ref_edits - 1 it fails.
+        ok = kdiff_extend(x, y, P, ref_edits)
+        assert ok.consumed_x == len(x) or ok.consumed_y == len(y) or len(x) == 0 or len(y) == 0
+        if ref_edits > 0 and len(x) > 0 and len(y) > 0:
+            short = kdiff_extend(x, y, P, ref_edits - 1)
+            reached = short.consumed_x == len(x) or short.consumed_y == len(y)
+            assert not reached or short.score < 0
+
+    @given(codes.filter(lambda a: len(a) >= 4))
+    @settings(max_examples=40, deadline=None)
+    def test_score_never_exceeds_banded_optimum(self, x):
+        """Min-edit alignment's affine score lower-bounds the optimal."""
+        rng = np.random.default_rng(int(x.sum()) + len(x))
+        y = x.copy()
+        flip = rng.random(len(y)) < 0.15
+        y[flip] = (y[flip] + 1) % 4
+        kd = kdiff_extend(x, y, P, len(x))
+        opt = extend_overlap(x, y, P, band=len(x) + len(y))
+        assert kd.score <= opt.score + 1e-9
+
+    def test_high_identity_agrees_with_banded(self):
+        rng = np.random.default_rng(5)
+        x = rng.integers(0, 4, 200).astype(np.uint8)
+        y = x.copy()
+        pos = rng.choice(200, size=3, replace=False)
+        y[pos] = (y[pos] + 1) % 4
+        kd = kdiff_extend(x, y, P, 10)
+        opt = extend_overlap(x, y, P, band=10)
+        assert kd.score == pytest.approx(opt.score)
+
+    def test_work_scales_with_errors_not_length(self):
+        rng = np.random.default_rng(6)
+        x = rng.integers(0, 4, 400).astype(np.uint8)
+        y = x.copy()
+        y[100] = (y[100] + 1) % 4
+        kd = kdiff_extend(x, y, P, 12)
+        banded = extend_overlap(x, y, P, band=12)
+        assert kd.dp_cells < banded.dp_cells / 50
+
+
+class TestScoreOps:
+    def test_affine_gap_accounting(self):
+        x = encode("AACC").tolist()
+        y = encode("AA").tolist()
+        # Two matches then a 2-run gap: open + extend.
+        assert score_ops("MMDD", P, x, y) == 2 * P.match + P.gap_open + P.gap_extend
+
+    def test_m_columns_rechecked(self):
+        x = encode("AA").tolist()
+        y = encode("AC").tolist()
+        # Claimed "MM" but second column mismatches: scored as mismatch.
+        assert score_ops("MM", P, x, y) == P.match + P.mismatch
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            score_ops("Z", P, [0], [0])
+
+
+class TestKdiffInPairAligner:
+    def test_engine_selection(self, small_benchmark):
+        col = small_benchmark.collection
+        with pytest.raises(ValueError, match="unknown extension engine"):
+            PairAligner(col, engine="magic")
+
+    def test_kdiff_pipeline_quality(self, small_benchmark, small_config):
+        """Clustering with the kdiff engine matches banded-engine quality."""
+        from repro.cluster import ClusterManager, greedy_cluster
+        from repro.metrics import assess_clustering
+        from repro.pairs import SaPairGenerator
+        from repro.suffix import SuffixArrayGst
+
+        col = small_benchmark.collection
+        truth = small_benchmark.true_clusters()
+        gst = SuffixArrayGst.build(col)
+        results = {}
+        for engine in ("banded", "kdiff"):
+            aligner = PairAligner(
+                col,
+                criteria=AcceptanceCriteria(min_score_ratio=0.8, min_overlap=30),
+                engine=engine,
+            )
+            mgr = ClusterManager(col.n_ests)
+            greedy_cluster(
+                SaPairGenerator(gst, psi=small_config.psi).pairs(), aligner, mgr
+            )
+            results[engine] = assess_clustering(mgr.clusters(), truth, col.n_ests)
+        assert abs(results["banded"].cc - results["kdiff"].cc) < 2.0

@@ -1,0 +1,149 @@
+"""Tests for the quality metrics (OQ/OV/UN/CC) and pairwise confusion,
+including hypothesis checks of the algebraic identities."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    MemoryLedger,
+    MemoryModel,
+    PairConfusion,
+    assess_clustering,
+    labels_from_clusters,
+    pair_confusion,
+    quality_metrics,
+)
+
+partitions = st.lists(st.integers(0, 4), min_size=2, max_size=30)
+
+
+def _naive_confusion(pred, truth):
+    n = len(pred)
+    tp = fp = fn = tn = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            p = pred[i] == pred[j]
+            t = truth[i] == truth[j]
+            if p and t:
+                tp += 1
+            elif p:
+                fp += 1
+            elif t:
+                fn += 1
+            else:
+                tn += 1
+    return PairConfusion(tp, fp, fn, tn)
+
+
+class TestPairConfusion:
+    @given(partitions, partitions)
+    @settings(max_examples=80, deadline=None)
+    def test_matches_naive_pair_enumeration(self, pred, truth):
+        n = min(len(pred), len(truth))
+        pred, truth = pred[:n], truth[:n]
+        assert pair_confusion(pred, truth) == _naive_confusion(pred, truth)
+
+    @given(partitions)
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_agreement(self, labels):
+        c = pair_confusion(labels, labels)
+        assert c.fp == 0 and c.fn == 0
+        assert c.total_pairs == len(labels) * (len(labels) - 1) // 2
+
+    def test_accepts_explicit_partitions(self):
+        c = pair_confusion([[0, 1], [2]], [[0], [1, 2]])
+        assert c.tp == 0 and c.fp == 1 and c.fn == 1 and c.tn == 1
+
+    def test_mixed_forms(self):
+        a = pair_confusion([0, 0, 1], [[0, 1], [2]])
+        b = pair_confusion([0, 0, 1], [0, 0, 1])
+        assert a == b
+
+    def test_universe_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="different universes"):
+            pair_confusion([0, 1], [0, 1, 2])
+
+    def test_labels_from_clusters_validation(self):
+        with pytest.raises(ValueError, match="two clusters"):
+            labels_from_clusters([[0, 1], [1]], 2)
+        with pytest.raises(ValueError, match="missing"):
+            labels_from_clusters([[0]], 2)
+        with pytest.raises(ValueError, match="outside"):
+            labels_from_clusters([[0, 5]], 2)
+
+
+class TestQualityMetrics:
+    def test_perfect_scores(self):
+        r = quality_metrics(PairConfusion(tp=10, fp=0, fn=0, tn=35))
+        assert r.oq == 100.0 and r.cc == 100.0
+        assert r.ov == 0.0 and r.un == 0.0
+
+    def test_paper_formulae(self):
+        c = PairConfusion(tp=6, fp=2, fn=3, tn=9)
+        r = quality_metrics(c)
+        assert r.oq == pytest.approx(100 * 6 / 11)
+        assert r.ov == pytest.approx(100 * 2 / 8)
+        assert r.un == pytest.approx(100 * 3 / 9)
+        expect_cc = 100 * (6 * 9 - 2 * 3) / math.sqrt(8 * 12 * 9 * 11)
+        assert r.cc == pytest.approx(expect_cc)
+
+    @given(partitions, partitions)
+    @settings(max_examples=60, deadline=None)
+    def test_metric_ranges(self, pred, truth):
+        n = min(len(pred), len(truth))
+        r = assess_clustering(pred[:n], truth[:n])
+        assert 0 <= r.oq <= 100
+        assert 0 <= r.ov <= 100
+        assert 0 <= r.un <= 100
+        assert -100 <= r.cc <= 100
+
+    def test_degenerate_all_singletons_vs_itself(self):
+        r = assess_clustering([0, 1, 2], [5, 6, 7])
+        assert r.oq == 100.0 and r.cc == 100.0  # no positive pairs anywhere
+
+    def test_as_row_shape(self):
+        r = assess_clustering([0, 0, 1], [0, 0, 1])
+        assert r.as_row() == [r.oq, r.ov, r.un, r.cc]
+
+    def test_str_format(self):
+        assert "OQ=" in str(assess_clustering([0, 0], [0, 0]))
+
+    def test_under_vs_over_prediction_direction(self):
+        # Splitting a true cluster -> UN > 0, OV == 0.
+        r = assess_clustering([[0], [1], [2, 3]], [[0, 1], [2, 3]])
+        assert r.un > 0 and r.ov == 0
+        # Merging two true clusters -> OV > 0, UN == 0.
+        r = assess_clustering([[0, 1, 2, 3]], [[0, 1], [2, 3]])
+        assert r.ov > 0 and r.un == 0
+
+
+class TestMemoryLedger:
+    def test_high_water_mark(self):
+        led = MemoryLedger()
+        led.add("pairs", 10)
+        led.remove("pairs", 4)
+        led.add("pairs", 2)
+        assert led.peak["pairs"] == 10
+        assert led.current["pairs"] == 8
+
+    def test_negative_rejected(self):
+        led = MemoryLedger()
+        led.add("pairs", 1)
+        with pytest.raises(ValueError):
+            led.remove("pairs", 2)
+
+    def test_set_peak_only_raises(self):
+        led = MemoryLedger()
+        led.set_peak("pairs", 100)
+        led.set_peak("pairs", 50)
+        assert led.peak["pairs"] == 100
+
+    def test_peak_bytes_uses_model(self):
+        led = MemoryLedger(model=MemoryModel(bytes_per_pair=16))
+        led.set_peak("pairs", 1000)
+        led.set_peak("lset_entries", 10)
+        assert led.peak_bytes() == 1000 * 16 + 10 * 12
+        assert led.peak_megabytes() == pytest.approx(led.peak_bytes() / 2**20)

@@ -1,0 +1,82 @@
+"""Tests for the banded-equivalent work accounting (model cells) and the
+align_engine configuration plumbing."""
+
+import pytest
+
+from repro.align import AcceptanceCriteria, PairAligner
+from repro.core import ClusteringConfig, PaceClusterer
+from repro.pairs import Pair
+from repro.sequence import EstCollection
+
+
+@pytest.fixture()
+def overlap_pair():
+    # The seed sits mid-overlap: both extensions have real work to do
+    # (30 bp of matching context on each side of the 16 bp seed).
+    import numpy as np
+
+    rng = np.random.default_rng(8)
+    core = "".join("ACGT"[c] for c in rng.integers(0, 4, 76))
+    a = "TTTTT" + core
+    b = core + "GGGGG"
+    col = EstCollection.from_strings([a, b])
+    seed = core[30:46]
+    return col, Pair(len(seed), 0, a.index(seed), 2, b.index(seed))
+
+
+class TestModelCells:
+    def test_banded_engine_tracks_both(self, overlap_pair):
+        col, pair = overlap_pair
+        aligner = PairAligner(col, engine="banded")
+        aligner.align_pair(pair)
+        assert aligner.dp_cells_total > 0
+        assert aligner.model_cells_total > 0
+
+    def test_kdiff_does_less_actual_work_same_model_work(self, overlap_pair):
+        col, pair = overlap_pair
+        banded = PairAligner(col, engine="banded")
+        kdiff = PairAligner(col, engine="kdiff")
+        banded.align_pair(pair)
+        kdiff.align_pair(pair)
+        # Model cells are engine-independent (band area of the same seeds).
+        assert banded.model_cells_total == kdiff.model_cells_total
+        assert kdiff.dp_cells_total < banded.model_cells_total
+
+    def test_full_dp_model_equals_actual(self, overlap_pair):
+        col, pair = overlap_pair
+        aligner = PairAligner(col, use_seed_extension=False)
+        aligner.align_pair(pair)
+        assert aligner.model_cells_total == aligner.dp_cells_total
+
+
+class TestAlignEngineConfig:
+    def test_config_validates_engine(self):
+        with pytest.raises(ValueError, match="unknown align_engine"):
+            ClusteringConfig(align_engine="magic")
+
+    def test_pipeline_engines_agree_on_partition(self, clean_benchmark):
+        banded = PaceClusterer(
+            ClusteringConfig.small_reads(align_engine="banded")
+        ).cluster(clean_benchmark.collection)
+        kdiff = PaceClusterer(
+            ClusteringConfig.small_reads(align_engine="kdiff")
+        ).cluster(clean_benchmark.collection)
+        # Error-free benchmark: accepted overlaps are exact matches for
+        # both scorers, so the partitions coincide.
+        assert banded.clusters == kdiff.clusters
+
+    def test_simulated_machine_virtual_time_engine_invariant(
+        self, clean_benchmark
+    ):
+        """The simulator charges banded-equivalent work, so swapping the
+        host engine must not change virtual time on error-free data."""
+        from repro.parallel import simulate_clustering
+
+        t = {}
+        for engine in ("banded", "kdiff"):
+            cfg = ClusteringConfig.small_reads(align_engine=engine)
+            rep = simulate_clustering(
+                clean_benchmark.collection, cfg, n_processors=4
+            )
+            t[engine] = rep.total_time
+        assert t["banded"] == pytest.approx(t["kdiff"], rel=1e-6)

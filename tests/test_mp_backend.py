@@ -1,0 +1,74 @@
+"""Tests for the real-process (multiprocessing) parallel backend."""
+
+import pytest
+
+from repro.core import PaceClusterer
+from repro.parallel import cluster_multiprocessing, run_parallel
+
+
+class TestMultiprocessingBackend:
+    def test_matches_sequential_partition(self, small_benchmark, small_config):
+        seq = PaceClusterer(small_config).cluster(small_benchmark.collection)
+        par = cluster_multiprocessing(
+            small_benchmark.collection, small_config, n_processors=3
+        )
+        assert par.clusters == seq.clusters
+
+    def test_counters_populated(self, small_benchmark, small_config):
+        res = cluster_multiprocessing(
+            small_benchmark.collection, small_config, n_processors=2
+        )
+        c = res.counters
+        assert c.pairs_generated > 0
+        assert c.pairs_processed > 0
+        assert c.pairs_accepted <= c.pairs_processed
+        assert c.dp_cells > 0
+
+    def test_rejects_single_processor(self, small_benchmark, small_config):
+        with pytest.raises(ValueError):
+            cluster_multiprocessing(
+                small_benchmark.collection, small_config, n_processors=1
+            )
+
+    def test_timings_recorded(self, small_benchmark, small_config):
+        res = cluster_multiprocessing(
+            small_benchmark.collection, small_config, n_processors=2
+        )
+        assert res.timings.get("gst_construction") > 0
+        assert res.timings.get("alignment") > 0
+
+
+class TestRunParallelFacade:
+    def test_simulated_dispatch(self, small_benchmark, small_config):
+        res = run_parallel(
+            small_benchmark.collection,
+            small_config,
+            n_processors=4,
+            machine="simulated",
+        )
+        assert res.n_clusters > 0
+
+    def test_multiprocessing_dispatch(self, small_benchmark, small_config):
+        res = run_parallel(
+            small_benchmark.collection,
+            small_config,
+            n_processors=2,
+            machine="multiprocessing",
+        )
+        assert res.n_clusters > 0
+
+    def test_unknown_machine_rejected(self, small_benchmark, small_config):
+        with pytest.raises(ValueError, match="unknown machine"):
+            run_parallel(small_benchmark.collection, small_config, machine="quantum")
+
+    def test_engines_agree(self, small_benchmark, small_config):
+        sim = run_parallel(
+            small_benchmark.collection, small_config, n_processors=3, machine="simulated"
+        )
+        mp = run_parallel(
+            small_benchmark.collection,
+            small_config,
+            n_processors=3,
+            machine="multiprocessing",
+        )
+        assert sim.clusters == mp.clusters

@@ -1,0 +1,158 @@
+"""Tests for the paper-faithful bucket trie and its DFS-array encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequence import EstCollection
+from repro.suffix import (
+    TrieNode,
+    build_bucket_tree,
+    build_gst_forest,
+    from_trie,
+)
+from repro.suffix.buckets import enumerate_bucket_suffixes
+
+dna_lists = st.lists(st.text(alphabet="ACGT", min_size=2, max_size=25), min_size=1, max_size=4)
+
+
+def _leaf_suffix_set(root: TrieNode):
+    out = []
+    for node in root.iter_postorder():
+        out.extend(node.suffixes)
+    return out
+
+
+class TestBucketTree:
+    @given(dna_lists, st.integers(1, 3))
+    @settings(max_examples=50, deadline=None)
+    def test_leaves_cover_bucket_exactly(self, seqs, w):
+        col = EstCollection.from_strings(seqs)
+        for key, suffixes in enumerate_bucket_suffixes(col, w).items():
+            tree = build_bucket_tree(col, suffixes, w)
+            assert sorted(_leaf_suffix_set(tree)) == sorted(suffixes)
+
+    @given(dna_lists, st.integers(1, 3))
+    @settings(max_examples=50, deadline=None)
+    def test_leaf_suffixes_identical_and_depths_consistent(self, seqs, w):
+        col = EstCollection.from_strings(seqs)
+        for suffixes in enumerate_bucket_suffixes(col, w).values():
+            tree = build_bucket_tree(col, suffixes, w)
+            for node in tree.iter_postorder():
+                if node.is_leaf:
+                    contents = {
+                        tuple(col.string(k)[off:].tolist()) for k, off in node.suffixes
+                    }
+                    assert len(contents) == 1
+                    (content,) = contents
+                    assert len(content) == node.string_depth
+                else:
+                    for child in node.children:
+                        assert child.string_depth >= node.string_depth
+
+    @given(dna_lists, st.integers(1, 3))
+    @settings(max_examples=50, deadline=None)
+    def test_path_labels_share_prefix(self, seqs, w):
+        col = EstCollection.from_strings(seqs)
+
+        def check(node):
+            prefixes = {
+                tuple(col.string(k)[off : off + node.string_depth].tolist())
+                for k, off in _leaf_suffix_set(node)
+            }
+            assert len(prefixes) == 1
+            for child in node.children:
+                check(child)
+
+        for suffixes in enumerate_bucket_suffixes(col, w).values():
+            check(build_bucket_tree(col, suffixes, w))
+
+    def test_internal_nodes_branch(self):
+        # Compaction: no internal node with exactly one child unless it
+        # also carries an ended-suffix leaf child... in this trie every
+        # internal node must have >= 2 children (ended leaf counts).
+        col = EstCollection.from_strings(["ACGTACGTT", "CGTACGTAC"])
+        for suffixes in enumerate_bucket_suffixes(col, 2).values():
+            tree = build_bucket_tree(col, suffixes, 2)
+            for node in tree.iter_postorder():
+                if not node.is_leaf:
+                    assert len(node.children) >= 2
+
+    def test_empty_bucket_rejected(self):
+        col = EstCollection.from_strings(["ACGT"])
+        with pytest.raises(ValueError):
+            build_bucket_tree(col, [], 2)
+
+    def test_multi_string_leaf(self):
+        # Identical suffixes of different strings share one leaf.
+        col = EstCollection.from_strings(["TTAC", "GGAC"])
+        buckets = enumerate_bucket_suffixes(col, 2)
+        key_ac = 0 * 4 + 1
+        tree = build_bucket_tree(col, buckets[key_ac], 2)
+        assert tree.is_leaf
+        assert len(tree.suffixes) == 2
+        assert tree.string_depth == 2
+
+
+class TestDfsArray:
+    @given(dna_lists, st.integers(1, 3))
+    @settings(max_examples=50, deadline=None)
+    def test_encoding_roundtrips_structure(self, seqs, w):
+        col = EstCollection.from_strings(seqs)
+        forest = build_gst_forest(col, w)
+        dfs = from_trie(forest)
+
+        # Walk both representations side by side.
+        def compare(obj_node: TrieNode, idx: int) -> int:
+            assert dfs.string_depth[idx] == obj_node.string_depth
+            assert dfs.is_leaf(idx) == obj_node.is_leaf
+            if obj_node.is_leaf:
+                assert sorted(dfs.leaf_suffixes(idx)) == sorted(obj_node.suffixes)
+                return idx
+            kids = list(dfs.children(idx))
+            assert len(kids) == len(obj_node.children)
+            last = idx
+            for obj_child, dfs_child in zip(obj_node.children, kids):
+                assert dfs_child == last + 1 if obj_child is obj_node.children[0] else True
+                last = compare(obj_child, dfs_child)
+            assert dfs.rightmost_leaf[idx] == last
+            return last
+
+        roots = [forest[k] for k in sorted(forest)]
+        for root_obj, root_idx in zip(roots, dfs.roots.tolist()):
+            compare(root_obj, root_idx)
+
+    def test_paper_rules_on_known_tree(self):
+        col = EstCollection.from_strings(["AAC", "AAG"])
+        dfs = from_trie(build_gst_forest(col, 1))
+        # Rightmost-leaf pointer of a leaf points to itself.
+        for u in range(dfs.n_nodes):
+            if dfs.is_leaf(u):
+                assert dfs.rightmost_leaf[u] == u
+        # First child is stored next to its parent.
+        for u in range(dfs.n_nodes):
+            if not dfs.is_leaf(u):
+                assert dfs.first_child(u) == u + 1
+
+    def test_first_child_of_leaf_rejected(self):
+        col = EstCollection.from_strings(["ACGT"])
+        dfs = from_trie(build_gst_forest(col, 2))
+        leaf = next(u for u in range(dfs.n_nodes) if dfs.is_leaf(u))
+        with pytest.raises(ValueError):
+            dfs.first_child(leaf)
+
+    def test_subtree_nodes_contiguous(self):
+        col = EstCollection.from_strings(["ACGTAACGT", "CGTAACGTA"])
+        dfs = from_trie(build_gst_forest(col, 2))
+        for u in range(dfs.n_nodes):
+            block = dfs.subtree_nodes(u)
+            for v in block:
+                # Every node in the block is within u's subtree: its
+                # rightmost leaf cannot exceed u's.
+                assert dfs.rightmost_leaf[v] <= dfs.rightmost_leaf[u]
+
+    def test_empty_forest_allowed(self):
+        # All suffixes shorter than the window: no buckets, no nodes.
+        dfs = from_trie([])
+        assert dfs.n_nodes == 0 and len(dfs.roots) == 0

@@ -1,0 +1,196 @@
+"""Property tests of Algorithm 1 on both backends against the brute-force
+oracle — the machine-checked versions of the paper's Lemmas 1–4."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pairs import SaPairGenerator, TreePairGenerator
+from repro.pairs.bruteforce import (
+    bruteforce_promising_pairs,
+    distinct_maximal_substrings,
+    maximal_common_substrings,
+)
+from repro.sequence import EstCollection
+from repro.suffix import NaiveGst, SuffixArrayGst
+
+
+def _random_overlapping_collection(rng: np.random.Generator, n: int) -> EstCollection:
+    """Reads off a short genome so pairs genuinely overlap."""
+    genome = rng.integers(0, 4, size=int(rng.integers(30, 90)), dtype=np.uint8)
+    seqs = []
+    comp = 3 - genome
+    for _ in range(n):
+        a = int(rng.integers(0, len(genome) - 12))
+        b = int(rng.integers(a + 10, min(len(genome), a + 45) + 1))
+        s = genome[a:b]
+        if rng.random() < 0.5:
+            s = comp[a:b][::-1]
+        seqs.append(s.copy())
+    return EstCollection(seqs)
+
+
+def _generators(col: EstCollection, psi: int):
+    sa_gen = SaPairGenerator(SuffixArrayGst.build(col), psi)
+    tree_gen = TreePairGenerator(NaiveGst.build(col, w=min(psi, 4)), psi)
+    return sa_gen, tree_gen
+
+
+seeds = st.integers(0, 10**6)
+
+
+class TestCompletenessAndSoundness:
+    """Lemma 3 (completeness) + Lemma 1 (soundness) as set equalities."""
+
+    @given(seeds, st.integers(2, 7), st.integers(4, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_both_backends_equal_bruteforce_set(self, seed, n, psi):
+        rng = np.random.default_rng(seed)
+        col = _random_overlapping_collection(rng, n)
+        truth = bruteforce_promising_pairs(col, psi)
+        sa_gen, tree_gen = _generators(col, psi)
+        assert {p.key for p in sa_gen.pairs()} == truth
+        assert {p.key for p in tree_gen.pairs()} == truth
+
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_seeds_are_exact_maximal_matches(self, seed):
+        """Every emitted pair's witnessing seed is a genuine exact match
+        that cannot be extended on either side (Lemma 1)."""
+        rng = np.random.default_rng(seed)
+        col = _random_overlapping_collection(rng, 5)
+        sa_gen, tree_gen = _generators(col, 6)
+        for gen in (sa_gen, tree_gen):
+            for p in gen.pairs():
+                a = col.string(p.string_a)
+                b = col.string(p.string_b)
+                seg_a = a[p.offset_a : p.offset_a + p.length]
+                seg_b = b[p.offset_b : p.offset_b + p.length]
+                assert np.array_equal(seg_a, seg_b)
+                # Left-maximal.
+                if p.offset_a > 0 and p.offset_b > 0:
+                    assert a[p.offset_a - 1] != b[p.offset_b - 1]
+                # Right-maximal.
+                ea, eb = p.offset_a + p.length, p.offset_b + p.length
+                if ea < len(a) and eb < len(b):
+                    assert a[ea] != b[eb]
+
+
+class TestMultiplicityAndOrder:
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_multiplicity_bounded_by_distinct_maximal_substrings(self, seed):
+        """Corollary 2: a pair is generated at most as many times as it has
+        distinct maximal common substrings of length >= psi."""
+        rng = np.random.default_rng(seed)
+        col = _random_overlapping_collection(rng, 5)
+        psi = 5
+        sa_gen, tree_gen = _generators(col, psi)
+        for gen in (sa_gen, tree_gen):
+            counts: dict[tuple, int] = {}
+            for p in gen.pairs():
+                counts[p.key] = counts.get(p.key, 0) + 1
+            for (i, j, orient), c in counts.items():
+                x = col.string(2 * i)
+                y = col.string(2 * j + int(orient))
+                bound = len(distinct_maximal_substrings(x, y, psi))
+                assert c <= bound, (i, j, orient, c, bound)
+
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_decreasing_substring_length_order(self, seed):
+        """§3.2: pairs arrive in decreasing maximal-common-substring length."""
+        rng = np.random.default_rng(seed)
+        col = _random_overlapping_collection(rng, 6)
+        sa_gen, tree_gen = _generators(col, 5)
+        for gen in (sa_gen, tree_gen):
+            lengths = [p.length for p in gen.pairs()]
+            assert lengths == sorted(lengths, reverse=True)
+
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_pair_lengths_are_true_maximal_substring_lengths(self, seed):
+        rng = np.random.default_rng(seed)
+        col = _random_overlapping_collection(rng, 4)
+        psi = 6
+        sa_gen, _ = _generators(col, psi)
+        for p in sa_gen.pairs():
+            x = col.string(p.string_a)
+            y = col.string(p.string_b)
+            lens = {l for _i, _j, l in maximal_common_substrings(x, y, psi)}
+            assert p.length in lens
+
+
+class TestGeneratorMechanics:
+    def test_determinism(self):
+        rng = np.random.default_rng(99)
+        col = _random_overlapping_collection(rng, 6)
+        a = list(SaPairGenerator(SuffixArrayGst.build(col), 6).pairs())
+        b = list(SaPairGenerator(SuffixArrayGst.build(col), 6).pairs())
+        assert a == b
+
+    def test_stats_counters(self):
+        rng = np.random.default_rng(5)
+        col = _random_overlapping_collection(rng, 6)
+        gen = SaPairGenerator(SuffixArrayGst.build(col), 6)
+        pairs = list(gen.pairs())
+        assert gen.stats.pairs_generated == len(pairs)
+        assert gen.stats.raw_pairs >= len(pairs)
+        assert gen.stats.nodes_processed > 0
+
+    def test_peak_lset_entries_linear_in_input(self):
+        """The O(N) space claim of §3.2: live lset entries never exceed the
+        number of suffix positions (one entry per suffix, created once)."""
+        rng = np.random.default_rng(17)
+        col = _random_overlapping_collection(rng, 8)
+        gst = SuffixArrayGst.build(col)
+        gen = SaPairGenerator(gst, 5)
+        for _ in gen.pairs():
+            pass
+        assert 0 < gen.stats.peak_lset_entries <= gst.n_suffix_positions
+
+    def test_psi_below_window_rejected_on_tree_backend(self):
+        col = EstCollection.from_strings(["ACGTACGT"])
+        gst = NaiveGst.build(col, w=4)
+        with pytest.raises(ValueError, match="below the bucket window"):
+            TreePairGenerator(gst, psi=3)
+
+    def test_bad_psi_rejected(self):
+        col = EstCollection.from_strings(["ACGTACGT"])
+        with pytest.raises(ValueError):
+            SaPairGenerator(SuffixArrayGst.build(col), psi=0)
+
+    def test_no_pairs_when_psi_exceeds_lengths(self):
+        col = EstCollection.from_strings(["ACGT", "ACGT"])
+        gen = SaPairGenerator(SuffixArrayGst.build(col), psi=10)
+        assert list(gen.pairs()) == []
+
+    def test_identical_strings_pair_once_at_full_length(self):
+        col = EstCollection.from_strings(["ACGTACGTGG", "ACGTACGTGG"])
+        gen = SaPairGenerator(SuffixArrayGst.build(col), psi=5)
+        pairs = list(gen.pairs())
+        keys = {p.key for p in pairs}
+        assert (0, 1, False) in keys
+        full = [p for p in pairs if p.key == (0, 1, False)]
+        assert max(p.length for p in full) == 10
+
+
+class TestBucketRangeGeneration:
+    @given(seeds, st.integers(2, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_union_over_buckets_equals_global(self, seed, w):
+        """Slave-local generation over bucket ranges collectively produces
+        exactly the global pair multiset (ψ >= w ensures no loss)."""
+        rng = np.random.default_rng(seed)
+        col = _random_overlapping_collection(rng, 6)
+        psi = 6
+        gst = SuffixArrayGst.build(col)
+        global_pairs = sorted(SaPairGenerator(gst, psi).pairs())
+        ranges = gst.bucket_ranges(w)
+        local: list = []
+        # Split buckets across 3 simulated processors round-robin.
+        for k in range(3):
+            own = [(lo, hi) for idx, (_key, lo, hi) in enumerate(ranges) if idx % 3 == k]
+            local.extend(SaPairGenerator(gst, psi, ranges=own).pairs())
+        assert sorted(local) == global_pairs

@@ -1,0 +1,102 @@
+"""Hypothesis property tests over the whole pipeline: for random small
+inputs the clustering must uphold its structural invariants regardless of
+content."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ClusteringConfig, PaceClusterer
+from repro.sequence import EstCollection
+from repro.sequence.seq import reverse_complement
+
+
+def _collection_from(seed: int, n: int) -> EstCollection:
+    rng = np.random.default_rng(seed)
+    genome = rng.integers(0, 4, size=int(rng.integers(60, 160)), dtype=np.uint8)
+    reads = []
+    for _ in range(n):
+        a = int(rng.integers(0, len(genome) - 25))
+        b = int(rng.integers(a + 20, min(len(genome), a + 70) + 1))
+        r = genome[a:b].copy()
+        if rng.random() < 0.5:
+            r = reverse_complement(r)
+        # sprinkle errors
+        flip = rng.random(len(r)) < 0.02
+        r[flip] = (r[flip] + 1) % 4
+        reads.append(r)
+    return EstCollection(reads)
+
+
+CFG = ClusteringConfig(w=4, psi=10, batchsize=10)
+
+seeds = st.integers(0, 10**6)
+
+
+class TestPipelineInvariants:
+    @given(seeds, st.integers(2, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_clusters_partition_the_universe(self, seed, n):
+        col = _collection_from(seed, n)
+        result = PaceClusterer(CFG).cluster(col)
+        flat = sorted(i for members in result.clusters for i in members)
+        assert flat == list(range(n))
+        assert all(members == sorted(members) for members in result.clusters)
+        firsts = [members[0] for members in result.clusters]
+        assert firsts == sorted(firsts)
+
+    @given(seeds, st.integers(2, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_counter_identities(self, seed, n):
+        col = _collection_from(seed, n)
+        c = PaceClusterer(CFG).cluster(col).counters
+        assert c.pairs_generated == c.pairs_processed + c.pairs_skipped
+        assert 0 <= c.pairs_accepted <= c.pairs_processed
+        assert c.dp_cells >= 0
+
+    @given(seeds, st.integers(2, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_merges_connect_their_clusters(self, seed, n):
+        col = _collection_from(seed, n)
+        result = PaceClusterer(CFG).cluster(col)
+        labels = result.labels()
+        # Merge count is exactly (n - n_clusters): a spanning forest.
+        assert len(result.merges) == n - result.n_clusters
+        for rec in result.merges:
+            assert labels[rec.pair.est_a] == labels[rec.pair.est_b]
+
+    @given(seeds, st.integers(2, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_determinism(self, seed, n):
+        col = _collection_from(seed, n)
+        a = PaceClusterer(CFG).cluster(col)
+        b = PaceClusterer(CFG).cluster(col)
+        assert a.clusters == b.clusters
+        assert a.counters.as_dict() == b.counters.as_dict()
+
+    @given(seeds, st.integers(2, 8))
+    @settings(max_examples=10, deadline=None)
+    def test_simulated_parallel_equals_sequential(self, seed, n):
+        from repro.parallel import simulate_clustering
+
+        col = _collection_from(seed, n)
+        seq = PaceClusterer(CFG).cluster(col)
+        par = simulate_clustering(col, CFG, n_processors=3)
+        assert par.result.clusters == seq.clusters
+
+    @given(seeds, st.integers(2, 8))
+    @settings(max_examples=10, deadline=None)
+    def test_est_order_permutation_consistency(self, seed, n):
+        """Permuting EST order permutes the partition accordingly."""
+        col = _collection_from(seed, n)
+        rng = np.random.default_rng(seed + 1)
+        perm = rng.permutation(n)
+        permuted = EstCollection([col.est(int(i)).copy() for i in perm])
+        base = PaceClusterer(CFG).cluster(col)
+        shuf = PaceClusterer(CFG).cluster(permuted)
+        # Map the shuffled partition back through the permutation.
+        inv = {int(new): int(old) for new, old in enumerate(perm)}
+        mapped = sorted(
+            sorted(inv[i] for i in members) for members in shuf.clusters
+        )
+        assert mapped == sorted(base.clusters)

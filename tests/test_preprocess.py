@@ -1,0 +1,154 @@
+"""Tests for EST preprocessing: poly-A/T trimming, low-complexity
+detection, and the end-to-end quality effect on tailed benchmarks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequence import EstCollection, decode, encode
+from repro.sequence.preprocess import (
+    PreprocessParams,
+    low_complexity_mask,
+    preprocess_est,
+    trim_polya,
+)
+
+dna = st.text(alphabet="ACGT", min_size=40, max_size=80).filter(
+    # Avoid bodies that themselves end in A-runs or start with T-runs,
+    # which would legitimately extend the trim.
+    lambda s: not s.endswith("A") and not s.startswith("T")
+)
+
+
+class TestTrimPolya:
+    def test_clean_tail_removed(self):
+        read = encode("ACGTCCGTAGGTCAGT" + "A" * 25)
+        trimmed, cut_start, cut_end = trim_polya(read)
+        assert decode(trimmed) == "ACGTCCGTAGGTCAGT"
+        assert cut_end == 25 and cut_start == 0
+
+    def test_polyt_head_removed(self):
+        read = encode("T" * 20 + "ACGTCCGTAGGTCAGT")
+        trimmed, cut_start, cut_end = trim_polya(read)
+        assert decode(trimmed) == "ACGTCCGTAGGTCAGT"
+        assert cut_start == 20 and cut_end == 0
+
+    def test_impure_tail_still_trimmed(self):
+        # 2 errors inside a 28bp tail: under the 20% impurity budget.
+        tail = list("A" * 28)
+        tail[9] = "G"
+        tail[19] = "C"
+        read = encode("CGCGTATAGCGCATCG" + "".join(tail))
+        trimmed, _s, cut_end = trim_polya(read)
+        assert cut_end >= 26
+
+    def test_short_run_kept(self):
+        read = encode("ACGTCCGTAGGTC" + "A" * 5)  # below tail_min_run
+        trimmed, _s, cut_end = trim_polya(read)
+        assert cut_end == 0 and len(trimmed) == len(read)
+
+    def test_no_tail_untouched(self):
+        read = encode("ACGTCCGTAGGTCAGTCCGT")
+        trimmed, cut_start, cut_end = trim_polya(read)
+        assert np.array_equal(trimmed, read)
+        assert cut_start == cut_end == 0
+
+    @given(dna, st.integers(10, 40))
+    @settings(max_examples=50, deadline=None)
+    def test_tail_always_removed_exactly(self, body, tail_len):
+        read = encode(body + "A" * tail_len)
+        trimmed, _s, cut_end = trim_polya(read)
+        assert cut_end >= tail_len
+        assert decode(trimmed) == body[: len(body) - (cut_end - tail_len)]
+
+    @given(dna)
+    @settings(max_examples=30, deadline=None)
+    def test_idempotent(self, body):
+        read = encode(body + "A" * 20)
+        once, _s1, _e1 = trim_polya(read)
+        twice, s2, e2 = trim_polya(once)
+        assert np.array_equal(once, twice)
+
+
+class TestPreprocessEst:
+    def test_keeps_good_read(self):
+        read = encode("ACGTCCGTAGGTCAGTCCGTACGTCCGTAGGTCAGTCCGT" + "A" * 15)
+        cleaned, report = preprocess_est(read)
+        assert report.kept and cleaned is not None
+        assert report.trimmed_end == 15
+
+    def test_rejects_too_short_after_trim(self):
+        read = encode("ACGTCCGTAG" + "A" * 60)
+        cleaned, report = preprocess_est(read, PreprocessParams(min_length=40))
+        assert cleaned is None and not report.kept
+        assert "shorter" in report.reason
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            PreprocessParams(tail_max_impurity=0.9)
+        with pytest.raises(ValueError):
+            PreprocessParams(min_length=0)
+
+
+class TestLowComplexity:
+    def test_mononucleotide_run_flagged(self):
+        mask = low_complexity_mask(encode("ACGTCCGTAGGTCAGT" + "A" * 30 + "CGTACGGATC"))
+        assert mask[20:40].any()
+
+    def test_dinucleotide_repeat_flagged(self):
+        mask = low_complexity_mask(encode("AT" * 20))
+        assert mask.all() or mask[:30].all()
+
+    def test_complex_sequence_clean(self):
+        rng = np.random.default_rng(3)
+        seq = rng.integers(0, 4, 200).astype(np.uint8)
+        mask = low_complexity_mask(seq)
+        assert mask.mean() < 0.2
+
+    def test_short_input(self):
+        assert not low_complexity_mask(encode("AC")).any()
+
+
+class TestPolyaEndToEnd:
+    """The full-circle test: tailed benchmarks break clustering quality;
+    preprocessing restores it."""
+
+    def _benchmark(self):
+        from repro.simulate import BenchmarkParams, make_benchmark
+
+        small = BenchmarkParams.small(n_genes=8, mean_ests_per_gene=8)
+        params = BenchmarkParams(
+            n_genes=small.n_genes,
+            mean_ests_per_gene=small.mean_ests_per_gene,
+            read_params=small.read_params,
+            n_exons_range=small.n_exons_range,
+            exon_len_range=small.exon_len_range,
+            polya_tail_length=35,
+        )
+        return make_benchmark(params, rng=9)
+
+    def test_tails_create_false_pairs_and_trimming_removes_them(self):
+        from repro.core import ClusteringConfig, PaceClusterer
+        from repro.metrics import assess_clustering
+
+        bench = self._benchmark()
+        cfg = ClusteringConfig.small_reads()
+        truth = bench.true_clusters()
+
+        raw = PaceClusterer(cfg).cluster(bench.collection)
+        q_raw = assess_clustering(raw.clusters, truth, bench.n_ests)
+
+        cleaned = []
+        for i in range(bench.n_ests):
+            c, report = preprocess_est(bench.collection.est(i).copy())
+            assert report.kept, "benchmark reads should survive trimming"
+            cleaned.append(c)
+        trimmed_result = PaceClusterer(cfg).cluster(EstCollection(cleaned))
+        q_trim = assess_clustering(trimmed_result.clusters, truth, bench.n_ests)
+
+        # Tails are shared across genes: untrimmed runs generate far more
+        # (junk) promising pairs and risk false merges.
+        assert raw.counters.pairs_generated > 1.3 * trimmed_result.counters.pairs_generated
+        assert q_trim.ov <= q_raw.ov
+        assert q_trim.cc >= q_raw.cc - 0.5

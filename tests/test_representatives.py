@@ -1,0 +1,78 @@
+"""Tests for cluster representative selection."""
+
+import pytest
+
+from repro.cluster.representatives import select_representatives
+from repro.sequence import EstCollection
+
+
+@pytest.fixture()
+def collection():
+    return EstCollection.from_strings(
+        ["ACGT", "ACGTACGTACGT", "ACGTACGT", "TTTT", "GGGGCCCC"]
+    )
+
+
+class TestLongest:
+    def test_picks_longest_member(self, collection):
+        reps = select_representatives(collection, [[0, 1, 2], [3, 4]])
+        assert reps == [1, 4]
+
+    def test_tie_breaks_to_smaller_id(self):
+        col = EstCollection.from_strings(["AAAA", "CCCC", "GG"])
+        reps = select_representatives(col, [[0, 1, 2]])
+        assert reps == [0]
+
+    def test_singletons(self, collection):
+        reps = select_representatives(collection, [[2], [3]])
+        assert reps == [2, 3]
+
+    def test_empty_cluster_rejected(self, collection):
+        with pytest.raises(ValueError, match="empty cluster"):
+            select_representatives(collection, [[]])
+
+    def test_unknown_strategy_rejected(self, collection):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            select_representatives(collection, [[0]], strategy="best")
+
+
+class TestConnected:
+    def test_requires_merges(self, collection):
+        with pytest.raises(ValueError, match="merge records"):
+            select_representatives(collection, [[0, 1]], strategy="connected")
+
+    def test_prefers_overlap_central_member(self, small_benchmark, small_config):
+        from repro.core import PaceClusterer
+
+        result = PaceClusterer(small_config).cluster(small_benchmark.collection)
+        reps = select_representatives(
+            small_benchmark.collection,
+            result.clusters,
+            strategy="connected",
+            merges=result.merges,
+        )
+        assert len(reps) == result.n_clusters
+        for rep, members in zip(reps, result.clusters):
+            assert rep in members
+
+    def test_falls_back_to_length_without_evidence(self, collection):
+        reps = select_representatives(
+            collection, [[0, 1, 2]], strategy="connected", merges=[]
+        )
+        assert reps == [1]
+
+    def test_merge_evidence_beats_length(self):
+        from repro.align.scoring import AlignmentResult, OverlapPattern
+        from repro.cluster.manager import MergeRecord
+        from repro.pairs import Pair
+
+        col = EstCollection.from_strings(["ACGTACGTACGTACGTACGT", "ACGTACGT", "ACGTAC"])
+        # EST 1 (short) carries all the merge evidence.
+        res = AlignmentResult(16.0, 0, 8, 0, 8, OverlapPattern.A_CONTAINS_B, 0)
+        merges = [
+            MergeRecord(Pair(8, 2, 0, 4, 0), res),  # (1, 2)
+        ]
+        reps = select_representatives(
+            col, [[0, 1, 2]], strategy="connected", merges=merges
+        )
+        assert reps == [1]

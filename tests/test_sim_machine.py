@@ -1,0 +1,111 @@
+"""Tests for the discrete-event simulated multiprocessor."""
+
+import pytest
+
+from repro.core import ClusteringConfig, PaceClusterer
+from repro.metrics import assess_clustering
+from repro.parallel import CostModel, SimulatedMachine, simulate_clustering
+from repro.suffix import SuffixArrayGst
+
+
+class TestSimulatedMachine:
+    def test_rejects_single_processor(self, small_benchmark, small_config):
+        with pytest.raises(ValueError, match="master and >= 1 slave"):
+            SimulatedMachine(small_benchmark.collection, small_config, n_processors=1)
+
+    def test_partition_identical_to_sequential(self, small_benchmark, small_config):
+        seq = PaceClusterer(small_config).cluster(small_benchmark.collection)
+        for p in (2, 4, 8):
+            rep = simulate_clustering(
+                small_benchmark.collection, small_config, n_processors=p
+            )
+            assert rep.result.clusters == seq.clusters, f"p={p}"
+
+    def test_bitwise_determinism(self, small_benchmark, small_config):
+        a = simulate_clustering(small_benchmark.collection, small_config, n_processors=4)
+        b = simulate_clustering(small_benchmark.collection, small_config, n_processors=4)
+        assert a.result.clusters == b.result.clusters
+        assert a.total_time == b.total_time
+        assert a.messages_exchanged == b.messages_exchanged
+        assert a.master_busy_time == b.master_busy_time
+
+    def test_virtual_time_decreases_with_processors(self, small_benchmark, small_config):
+        gst = SuffixArrayGst.build(small_benchmark.collection)
+        times = [
+            simulate_clustering(
+                small_benchmark.collection, small_config, n_processors=p, gst=gst
+            ).total_time
+            for p in (2, 4, 8)
+        ]
+        assert times[0] > times[1] > times[2]
+
+    def test_components_sum_close_to_total(self, small_benchmark, small_config):
+        rep = simulate_clustering(small_benchmark.collection, small_config, n_processors=4)
+        comp_sum = rep.result.timings.total
+        # Components are the paper's accounting: setup pieces (max over
+        # slaves) + the clustering phase; together they bound the end time.
+        assert comp_sum >= rep.total_time * 0.7
+        assert rep.result.timings.get("gst_construction") > 0
+        assert rep.result.timings.get("alignment") > 0
+
+    def test_quality_matches_sequential(self, small_benchmark, small_config):
+        truth = small_benchmark.true_clusters()
+        n = small_benchmark.collection.n_ests
+        seq_q = assess_clustering(
+            PaceClusterer(small_config).cluster(small_benchmark.collection).clusters,
+            truth,
+            n,
+        )
+        par_q = assess_clustering(
+            simulate_clustering(
+                small_benchmark.collection, small_config, n_processors=8
+            ).result.clusters,
+            truth,
+            n,
+        )
+        assert par_q.oq == pytest.approx(seq_q.oq)
+        assert par_q.cc == pytest.approx(seq_q.cc)
+
+    def test_master_busy_fraction_small(self, small_benchmark, small_config):
+        rep = simulate_clustering(small_benchmark.collection, small_config, n_processors=8)
+        assert rep.master_busy_fraction < 0.25  # tiny input; at scale ≪ 2%
+
+    def test_counters_consistent(self, small_benchmark, small_config):
+        rep = simulate_clustering(small_benchmark.collection, small_config, n_processors=4)
+        c = rep.result.counters
+        assert c.pairs_generated > 0
+        assert c.pairs_processed > 0
+        assert c.pairs_accepted <= c.pairs_processed
+        assert c.dp_cells > 0
+
+    def test_custom_cost_model_changes_time_not_result(
+        self, small_benchmark, small_config
+    ):
+        slow_comm = CostModel(comm_latency=5e-3)
+        base = simulate_clustering(small_benchmark.collection, small_config, n_processors=4)
+        slow = simulate_clustering(
+            small_benchmark.collection,
+            small_config,
+            n_processors=4,
+            cost_model=slow_comm,
+        )
+        assert slow.total_time > base.total_time
+        assert slow.result.clusters == base.result.clusters
+
+    def test_batchsize_affects_message_count(self, small_benchmark):
+        small = ClusteringConfig.small_reads(batchsize=5)
+        large = ClusteringConfig.small_reads(batchsize=100)
+        rep_small = simulate_clustering(
+            small_benchmark.collection, small, n_processors=4
+        )
+        rep_large = simulate_clustering(
+            small_benchmark.collection, large, n_processors=4
+        )
+        assert rep_small.messages_exchanged > rep_large.messages_exchanged
+
+    def test_many_processors_ok_with_few_buckets(self, small_benchmark, small_config):
+        # More slaves than buckets: surplus slaves are exhausted at birth.
+        rep = simulate_clustering(
+            small_benchmark.collection, small_config, n_processors=64
+        )
+        assert rep.result.n_clusters > 0

@@ -1,0 +1,206 @@
+"""Tests for the synthetic EST benchmark generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequence import decode, reverse_complement
+from repro.simulate import (
+    BenchmarkParams,
+    ErrorModel,
+    ReadParams,
+    alternative_transcripts,
+    apply_errors,
+    make_benchmark,
+    make_gene,
+    make_gene_family,
+    primary_transcript,
+    random_genome,
+    sample_est,
+)
+
+
+class TestGenes:
+    def test_random_genome_properties(self):
+        g = random_genome(500, rng=0)
+        assert g.shape == (500,) and g.dtype == np.uint8
+        assert set(np.unique(g)) <= {0, 1, 2, 3}
+
+    def test_gene_structure(self):
+        gene = make_gene(3, rng=1, n_exons_range=(2, 4), exon_len_range=(50, 80))
+        assert 2 <= gene.n_exons <= 4
+        assert len(gene.intron_lengths) == gene.n_exons - 1
+        assert gene.mrna_length == sum(len(e) for e in gene.exons)
+        assert gene.gene_id == 3
+
+    def test_gene_determinism(self):
+        a = make_gene(0, rng=5)
+        b = make_gene(0, rng=5)
+        assert a.exons == b.exons
+
+    def test_paralog_diverges_but_resembles(self):
+        base = make_gene(0, rng=2, reverse_strand_prob=0.0)
+        para = make_gene_family(base, 1, rng=3, divergence=0.1)
+        assert para.n_exons == base.n_exons
+        diff = sum(
+            int(x != y)
+            for e1, e2 in zip(base.exons, para.exons)
+            for x, y in zip(e1, e2)
+        )
+        total = sum(len(e) for e in base.exons)
+        assert 0 < diff < 0.25 * total  # mutated, but recognisably related
+
+    def test_paralog_zero_divergence_identical(self):
+        base = make_gene(0, rng=2)
+        assert make_gene_family(base, 1, rng=3, divergence=0.0).exons == base.exons
+
+    def test_bad_divergence_rejected(self):
+        with pytest.raises(ValueError):
+            make_gene_family(make_gene(0, rng=0), 1, rng=0, divergence=2.0)
+
+
+class TestTranscripts:
+    def test_primary_is_exon_concatenation(self):
+        gene = make_gene(0, rng=4)
+        t = primary_transcript(gene)
+        assert t.sequence_bytes == b"".join(gene.exons)
+        assert all(t.exon_mask)
+
+    def test_alternative_skips_internal_exons_only(self):
+        gene = make_gene(0, rng=8, n_exons_range=(4, 6))
+        isoforms = alternative_transcripts(gene, rng=9, max_isoforms=3, skip_prob=0.9)
+        for iso in isoforms:
+            assert iso.exon_mask[0] and iso.exon_mask[-1]
+            assert not all(iso.exon_mask)
+            kept = b"".join(e for e, m in zip(gene.exons, iso.exon_mask) if m)
+            assert iso.sequence_bytes == kept
+
+    def test_two_exon_gene_cannot_skip(self):
+        gene = make_gene(0, rng=1, n_exons_range=(2, 2))
+        assert alternative_transcripts(gene, rng=1) == []
+
+
+class TestErrors:
+    def test_perfect_model_is_identity(self):
+        x = random_genome(200, rng=0)
+        assert np.array_equal(apply_errors(x, ErrorModel.perfect(), rng=1), x)
+
+    def test_substitutions_change_but_keep_length(self):
+        x = random_genome(2000, rng=0)
+        model = ErrorModel(substitution_rate=0.1, insertion_rate=0.0, deletion_rate=0.0)
+        y = apply_errors(x, model, rng=1)
+        assert len(y) == len(x)
+        frac = np.mean(x != y)
+        assert 0.05 < frac < 0.15
+
+    def test_indels_shift_length(self):
+        x = random_genome(5000, rng=0)
+        ins = ErrorModel(0.0, insertion_rate=0.05, deletion_rate=0.0)
+        dels = ErrorModel(0.0, insertion_rate=0.0, deletion_rate=0.05)
+        assert len(apply_errors(x, ins, rng=1)) > len(x)
+        assert len(apply_errors(x, dels, rng=1)) < len(x)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_output_is_valid_dna(self, seed):
+        rng = np.random.default_rng(seed)
+        x = random_genome(300, rng=rng)
+        y = apply_errors(x, ErrorModel(0.02, 0.01, 0.01), rng=rng)
+        assert y.dtype == np.uint8
+        assert y.size == 0 or int(y.max()) <= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ErrorModel(substitution_rate=1.5)
+        with pytest.raises(ValueError):
+            ErrorModel(0.3, 0.2, 0.2)  # total > 0.5
+
+
+class TestEstSampling:
+    def _transcript(self, rng=0):
+        return primary_transcript(make_gene(0, rng=rng, exon_len_range=(200, 300)))
+
+    def test_read_length_distribution(self):
+        t = self._transcript()
+        params = ReadParams(mean_length=150, sd_length=10, min_length=50)
+        rng = np.random.default_rng(0)
+        lengths = [
+            sample_est(t, params, ErrorModel.perfect(), rng).length for _ in range(100)
+        ]
+        assert all(l >= 50 for l in lengths)
+        assert 120 < np.mean(lengths) < 180
+
+    def test_five_prime_reads_match_mrna_forward(self):
+        t = self._transcript()
+        params = ReadParams(mean_length=100, sd_length=5, min_length=40, five_prime_prob=1.0)
+        read = sample_est(t, params, ErrorModel.perfect(), np.random.default_rng(1))
+        assert read.five_prime
+        window = t.sequence[read.mrna_start : read.mrna_end]
+        assert decode(read.codes) == decode(window)
+
+    def test_three_prime_reads_are_reverse_complemented(self):
+        t = self._transcript()
+        params = ReadParams(mean_length=100, sd_length=5, min_length=40, five_prime_prob=0.0)
+        read = sample_est(t, params, ErrorModel.perfect(), np.random.default_rng(1))
+        assert not read.five_prime
+        window = t.sequence[read.mrna_start : read.mrna_end]
+        assert np.array_equal(read.codes, reverse_complement(window))
+
+    def test_transcript_too_short_rejected(self):
+        gene = make_gene(0, rng=0, n_exons_range=(1, 1), exon_len_range=(30, 30))
+        t = primary_transcript(gene)
+        with pytest.raises(ValueError, match="shorter than min read"):
+            sample_est(t, ReadParams(mean_length=100, min_length=50), ErrorModel.perfect(), 0)
+
+
+class TestBenchmarks:
+    def test_shape_and_ground_truth(self):
+        bench = make_benchmark(BenchmarkParams.small(n_genes=5, mean_ests_per_gene=4), rng=0)
+        assert bench.n_ests == len(bench.reads) == bench.collection.n_ests
+        labels = bench.true_labels
+        clusters = bench.true_clusters()
+        assert sum(len(c) for c in clusters) == bench.n_ests
+        for members in clusters:
+            gene_ids = {labels[i] for i in members}
+            assert len(gene_ids) == 1
+
+    def test_every_gene_has_at_least_two_reads(self):
+        bench = make_benchmark(BenchmarkParams.small(n_genes=8), rng=3)
+        for members in bench.true_clusters():
+            assert len(members) >= 2
+
+    def test_determinism(self):
+        a = make_benchmark(BenchmarkParams.small(), rng=11)
+        b = make_benchmark(BenchmarkParams.small(), rng=11)
+        assert [r.codes_bytes for r in a.reads] == [r.codes_bytes for r in b.reads]
+
+    def test_paralogs_add_genes(self):
+        params = BenchmarkParams.small(n_genes=6)
+        params = BenchmarkParams(
+            n_genes=6,
+            mean_ests_per_gene=4,
+            read_params=params.read_params,
+            paralog_fraction=1.0,
+            n_exons_range=params.n_exons_range,
+            exon_len_range=params.exon_len_range,
+        )
+        bench = make_benchmark(params, rng=1)
+        assert len(bench.genes) == 12
+
+    def test_alt_splicing_isoforms_present(self):
+        base = BenchmarkParams.small(n_genes=6)
+        params = BenchmarkParams(
+            n_genes=6,
+            mean_ests_per_gene=4,
+            read_params=base.read_params,
+            alt_splicing_fraction=1.0,
+            n_exons_range=(3, 5),
+            exon_len_range=base.exon_len_range,
+        )
+        bench = make_benchmark(params, rng=2)
+        assert any(len(forms) > 1 for forms in bench.transcripts.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BenchmarkParams(n_genes=0)

@@ -1,0 +1,130 @@
+"""Tests for alternative-splicing detection (the §3.3/§5 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.splicing import SplicingEvent, detect_splicing_events
+from repro.sequence import EstCollection
+from repro.util.rng import ensure_rng
+
+
+def _random_dna(rng, n):
+    return "".join("ACGT"[int(c)] for c in rng.integers(0, 4, n))
+
+
+class TestDetectSplicing:
+    def test_exon_skip_detected(self):
+        rng = ensure_rng(3)
+        exon1, exon2, exon3 = (_random_dna(rng, 60) for _ in range(3))
+        full = exon1 + exon2 + exon3  # isoform keeping all exons
+        skipped = exon1 + exon3  # isoform skipping exon2
+        col = EstCollection.from_strings([full, skipped])
+        events = detect_splicing_events(col, [[0, 1]], min_gap=40, min_flank=25)
+        assert len(events) == 1
+        ev = events[0]
+        assert ev.gap_length == pytest.approx(60, abs=5)
+        assert ev.gap_in == "b"  # EST b (the skipped isoform) lacks exon2
+        assert 50 <= ev.a_position <= 70  # gap sits where exon2 started
+        assert ev.identity_outside_gap > 0.95
+
+    def test_no_event_on_plain_overlap(self):
+        rng = ensure_rng(4)
+        genome = _random_dna(rng, 150)
+        col = EstCollection.from_strings([genome[:100], genome[40:140]])
+        assert detect_splicing_events(col, [[0, 1]]) == []
+
+    def test_short_gap_is_noise_not_splice(self):
+        rng = ensure_rng(5)
+        a = _random_dna(rng, 60)
+        b = _random_dna(rng, 60)
+        full = a + b
+        small_gap = a + b[10:]  # only a 10 bp gap
+        col = EstCollection.from_strings([full, small_gap])
+        assert detect_splicing_events(col, [[0, 1]], min_gap=40) == []
+
+    def test_border_gap_is_dovetail_not_splice(self):
+        rng = ensure_rng(6)
+        core = _random_dna(rng, 80)
+        extended = core + _random_dna(rng, 60)
+        col = EstCollection.from_strings([extended, core])
+        # The 60 bp "gap" sits at the overlap border: flank rule kills it.
+        assert detect_splicing_events(col, [[0, 1]], min_gap=40, min_flank=25) == []
+
+    def test_pair_budget_respected(self):
+        rng = ensure_rng(7)
+        seqs = [_random_dna(rng, 50) for _ in range(6)]
+        events = detect_splicing_events(
+            EstCollection.from_strings(seqs), [[0, 1, 2, 3, 4, 5]],
+            max_pairs_per_cluster=1,
+        )
+        # At most one pair was examined — no crash, bounded work.
+        assert isinstance(events, list)
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            SplicingEvent(0, 1, False, 50, "x", 10, 0.9)
+
+    def test_end_to_end_with_simulated_isoforms(self):
+        """Full pipeline: simulate a gene with exon skipping, cluster, and
+        find the splice signature inside the recovered cluster."""
+        from repro.core import ClusteringConfig, PaceClusterer
+        from repro.simulate import (
+            ErrorModel,
+            ReadParams,
+            alternative_transcripts,
+            make_gene,
+            primary_transcript,
+            sample_gene_ests,
+        )
+
+        rng = ensure_rng(11)
+        # Geometry matters twice over: the flanking exons must exceed the
+        # read length (so single-exon reads bridge the isoforms into one
+        # cluster), while the skipped middle exon must be *shorter* than a
+        # read minus both flanks (so some full-isoform read spans it and
+        # the skip gap is observable inside an overlap).
+        from repro.simulate.genes import GeneModel, random_genome
+
+        gene = GeneModel(
+            gene_id=0,
+            exons=(
+                random_genome(200, rng).tobytes(),
+                random_genome(70, rng).tobytes(),
+                random_genome(200, rng).tobytes(),
+            ),
+            intron_lengths=(100, 100),
+            reverse_strand=False,
+        )
+        forms = [primary_transcript(gene)] + alternative_transcripts(
+            gene, rng, max_isoforms=1, skip_prob=1.0
+        )
+        assert len(forms) == 2
+        reads = sample_gene_ests(
+            forms, 20, ReadParams(mean_length=150, sd_length=10, min_length=80),
+            ErrorModel.perfect(), rng,
+        )
+        iso_of = [r.isoform_id for r in reads]
+        codes = [r.codes for r in reads]
+        # Two guaranteed junction-spanning reads: exon2 starts at 200 and
+        # ends at 270 on the full transcript; the skip isoform joins exon1
+        # to exon3 at 200.
+        full_span = forms[0].sequence[140:330]  # exon2 with 60 bp flanks
+        skip_span = forms[1].sequence[140:260]  # the junction with flanks
+        codes += [full_span.copy(), skip_span.copy()]
+        iso_of += [0, 1]
+        col = EstCollection(codes)
+        result = PaceClusterer(ClusteringConfig.small_reads()).cluster(col)
+        events = detect_splicing_events(
+            col, result.clusters, min_gap=55, min_flank=25,
+            max_pairs_per_cluster=2000,
+        )
+        # Any detected event must couple reads of *different* isoforms.
+        for ev in events:
+            assert iso_of[ev.est_a] != iso_of[ev.est_b]
+        # The two crafted junction-spanning reads co-cluster (they share
+        # 60 bp of exon1 flank exactly), so the ~70 bp skip gap between
+        # them must be reported.
+        labels = result.labels()
+        assert labels[len(codes) - 2] == labels[len(codes) - 1]
+        assert events, "no splice events found despite junction-spanning pair"
+        assert any(55 <= ev.gap_length <= 85 for ev in events)

@@ -1,0 +1,138 @@
+"""Tests for suffix-array construction and LCP computation, including the
+hypothesis cross-checks against brute-force references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequence import EstCollection
+from repro.suffix import SuffixArray, build_suffix_array
+from repro.suffix.lcp import (
+    lcp_array,
+    lcp_from_rank_levels,
+    lcp_kasai,
+    lcp_naive,
+    lcp_pairwise_from_levels,
+)
+from repro.suffix.suffix_array import suffix_array_naive
+
+dna_lists = st.lists(st.text(alphabet="ACGT", min_size=1, max_size=25), min_size=1, max_size=4)
+
+
+def _text_of(seqs):
+    return EstCollection.from_strings(seqs).sa_text()[0]
+
+
+class TestBuildSuffixArray:
+    def test_known_small_case(self):
+        # banana-like over our integer encoding: "ABAB" with sentinel text
+        text = np.array([5, 4, 5, 4, 0], dtype=np.int64)
+        sa = build_suffix_array(text)
+        assert np.array_equal(sa.sa, suffix_array_naive(text))
+
+    @given(dna_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_on_est_texts(self, seqs):
+        text = _text_of(seqs)
+        sa = build_suffix_array(text)
+        assert np.array_equal(sa.sa, suffix_array_naive(text))
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_on_arbitrary_ints(self, vals):
+        text = np.array(vals, dtype=np.int64)
+        sa = build_suffix_array(text)
+        assert np.array_equal(sa.sa, suffix_array_naive(text))
+
+    @given(dna_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_sa_is_permutation_and_rank_inverse(self, seqs):
+        text = _text_of(seqs)
+        sa = build_suffix_array(text)
+        m = len(text)
+        assert sorted(sa.sa.tolist()) == list(range(m))
+        assert np.array_equal(sa.rank[sa.sa], np.arange(m))
+
+    def test_single_character(self):
+        sa = build_suffix_array(np.array([7]))
+        assert sa.sa.tolist() == [0]
+
+    def test_repetitive_text_deep_doubling(self):
+        text = np.array([1] * 64 + [0], dtype=np.int64)
+        sa = build_suffix_array(text)
+        # Suffixes sort by increasing length (sentinel smallest).
+        assert sa.sa.tolist() == list(range(64, -1, -1))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_suffix_array(np.array([], dtype=np.int64))
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            build_suffix_array(np.array([-1, 0]))
+
+    def test_keep_levels_false_skips_history(self):
+        text = _text_of(["ACGTACGT"])
+        assert build_suffix_array(text, keep_levels=False).rank_levels == []
+
+    def test_levels_rank_prefixes(self):
+        text = _text_of(["ACGTACGTAA", "CGTACG"])
+        sa = build_suffix_array(text)
+        text_list = text.tolist()
+        m = len(text_list)
+        for k, rank_k in sa.rank_levels:
+            # Equal rank at level k must mean equal length-k prefixes.
+            by_rank = {}
+            for p in range(m):
+                by_rank.setdefault(int(rank_k[p]), []).append(p)
+            for group in by_rank.values():
+                first = text_list[group[0] : group[0] + k]
+                for p in group[1:]:
+                    assert text_list[p : p + k] == first
+
+
+class TestLcp:
+    @given(dna_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_kasai_matches_naive(self, seqs):
+        text = _text_of(seqs)
+        sa = build_suffix_array(text)
+        assert np.array_equal(lcp_kasai(text, sa.sa), lcp_naive(text, sa.sa))
+
+    @given(dna_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_rank_level_lcp_matches_kasai(self, seqs):
+        text = _text_of(seqs)
+        sa = build_suffix_array(text)
+        assert np.array_equal(lcp_from_rank_levels(sa), lcp_kasai(text, sa.sa))
+
+    def test_lcp_array_dispatches_when_no_levels(self):
+        text = _text_of(["ACGT", "GTAC"])
+        sa = build_suffix_array(text, keep_levels=False)
+        assert np.array_equal(lcp_array(sa), lcp_kasai(text, sa.sa))
+
+    def test_lcp_never_crosses_string_boundary(self):
+        # Identical strings: LCP capped at string length by unique sentinels.
+        col = EstCollection.from_strings(["ACGTACGT", "ACGTACGT"])
+        text, _ = col.sa_text()
+        sa = build_suffix_array(text)
+        assert int(lcp_array(sa).max()) == 8
+
+    @given(dna_lists, st.integers(0, 10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_pairwise_lcp_arbitrary_pairs(self, seqs, seed):
+        text = _text_of(seqs)
+        sa = build_suffix_array(text)
+        rng = np.random.default_rng(seed)
+        m = len(text)
+        left = rng.integers(0, m, size=8)
+        right = rng.integers(0, m, size=8)
+        mask = left != right
+        got = lcp_pairwise_from_levels(sa, left[mask], right[mask])
+        text_list = text.tolist()
+        for (i, j, h) in zip(left[mask], right[mask], got):
+            expect = 0
+            while i + expect < m and j + expect < m and text_list[i + expect] == text_list[j + expect]:
+                expect += 1
+            assert h == expect

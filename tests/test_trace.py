@@ -1,0 +1,97 @@
+"""Tests for simulator event tracing: causality, accounting parity,
+rendering."""
+
+import pytest
+
+from repro.parallel import SimulatedMachine
+from repro.parallel.trace import TraceEvent, TraceRecorder, render_timeline, utilisation
+
+
+@pytest.fixture()
+def traced_run(small_benchmark, small_config):
+    trace = TraceRecorder()
+    machine = SimulatedMachine(
+        small_benchmark.collection, small_config, n_processors=4, trace=trace
+    )
+    report = machine.run()
+    return trace, report
+
+
+class TestTraceRecorder:
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            TraceEvent("compute", "master", 2.0, 1.0)
+
+    def test_basic_recording(self):
+        tr = TraceRecorder()
+        tr.send("master", 1.0, "x")
+        tr.recv("slave0", 2.0)
+        tr.compute("slave0", 2.0, 3.0, "work")
+        assert len(tr) == 3
+        assert [e.kind for e in tr.ordered()] == ["send", "recv", "compute"]
+        assert len(tr.by_actor("slave0")) == 2
+
+
+class TestSimulatorTracing:
+    def test_events_recorded(self, traced_run):
+        trace, report = traced_run
+        assert len(trace) > 0
+        kinds = {e.kind for e in trace.events}
+        assert kinds == {"send", "recv", "compute"}
+
+    def test_all_events_within_run(self, traced_run):
+        trace, report = traced_run
+        for ev in trace.events:
+            assert 0 <= ev.start <= ev.end <= report.total_time + 1e-12
+
+    def test_causality_sends_precede_receives(self, traced_run):
+        """Every receive is preceded by a matching send from the peer at
+        an earlier time (message latency is strictly positive)."""
+        trace, _report = traced_run
+        sends = sorted(e.start for e in trace.events if e.kind == "send")
+        for recv in (e for e in trace.events if e.kind == "recv"):
+            assert any(s < recv.start for s in sends), recv
+
+    def test_master_compute_intervals_serialise(self, traced_run):
+        """The master is one processor: its compute intervals never
+        overlap."""
+        trace, _report = traced_run
+        intervals = sorted(
+            (e.start, e.end) for e in trace.by_actor("master") if e.kind == "compute"
+        )
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2 + 1e-12
+
+    def test_master_busy_matches_report(self, traced_run):
+        trace, report = traced_run
+        util = utilisation(trace, report.total_time)
+        assert util["master"] == pytest.approx(report.master_busy_fraction, rel=1e-9)
+
+    def test_send_count_matches_messages(self, traced_run):
+        trace, report = traced_run
+        sends = sum(1 for e in trace.events if e.kind == "send")
+        assert sends == report.messages_exchanged
+
+    def test_tracing_does_not_change_results(self, small_benchmark, small_config):
+        plain = SimulatedMachine(
+            small_benchmark.collection, small_config, n_processors=4
+        ).run()
+        traced = SimulatedMachine(
+            small_benchmark.collection,
+            small_config,
+            n_processors=4,
+            trace=TraceRecorder(),
+        ).run()
+        assert plain.result.clusters == traced.result.clusters
+        assert plain.total_time == traced.total_time
+
+
+class TestRendering:
+    def test_timeline_renders(self, traced_run):
+        trace, _report = traced_run
+        text = render_timeline(trace, max_events=10)
+        assert "master" in text and "slave" in text
+        assert "more events" in text  # truncation notice
+
+    def test_empty_timeline(self):
+        assert "actor" in render_timeline(TraceRecorder())

@@ -1,0 +1,99 @@
+"""Tests for acceptance-threshold tuning (the §4.1 calibration rule)."""
+
+import pytest
+
+from repro.core import ClusteringConfig, PaceClusterer
+from repro.core.tuning import tune_acceptance
+
+
+class TestTuneAcceptance:
+    def test_sweep_structure(self, small_benchmark, small_config):
+        result = tune_acceptance(
+            small_benchmark.collection,
+            small_benchmark.true_labels,
+            config=small_config,
+            ratios=[0.6, 0.7, 0.8, 0.9],
+        )
+        assert len(result.points) == 4
+        ratios = [p.min_score_ratio for p in result.points]
+        assert ratios == sorted(ratios)
+        assert result.best in result.points
+
+    def test_best_minimises_fp_plus_fn(self, small_benchmark, small_config):
+        result = tune_acceptance(
+            small_benchmark.collection,
+            small_benchmark.true_labels,
+            config=small_config,
+            ratios=[0.5, 0.7, 0.9],
+        )
+        assert result.best.fp_plus_fn == min(p.fp_plus_fn for p in result.points)
+
+    def test_extreme_thresholds_are_worse(self, small_benchmark, small_config):
+        """A near-1.0 threshold under-predicts (errors break perfection);
+        the tuned optimum must beat it on FP+FN."""
+        result = tune_acceptance(
+            small_benchmark.collection,
+            small_benchmark.true_labels,
+            config=small_config,
+            ratios=[0.5, 0.6, 0.7, 0.8, 0.9, 0.99],
+        )
+        strictest = result.points[-1]
+        assert result.best.fp_plus_fn <= strictest.fp_plus_fn
+        assert result.best.min_score_ratio < 0.99
+
+    def test_tie_breaks_toward_stricter(self, small_benchmark, small_config):
+        result = tune_acceptance(
+            small_benchmark.collection,
+            small_benchmark.true_labels,
+            config=small_config,
+            ratios=[0.70, 0.75, 0.80],
+        )
+        ties = [
+            p for p in result.points if p.fp_plus_fn == result.best.fp_plus_fn
+        ]
+        assert result.best.min_score_ratio == max(p.min_score_ratio for p in ties)
+
+    def test_as_criteria_roundtrip(self, small_benchmark, small_config):
+        result = tune_acceptance(
+            small_benchmark.collection,
+            small_benchmark.true_labels,
+            config=small_config,
+            ratios=[0.8],
+        )
+        crit = result.as_criteria(min_overlap=30)
+        assert crit.min_score_ratio == 0.8 and crit.min_overlap == 30
+
+    def test_tuned_threshold_matches_full_pipeline(
+        self, small_benchmark, small_config
+    ):
+        """The sweep's filtered-graph partition at threshold t equals a
+        real clustering run with that acceptance threshold."""
+        from dataclasses import replace
+
+        from repro.align.scoring import AcceptanceCriteria
+        from repro.metrics import assess_clustering
+
+        result = tune_acceptance(
+            small_benchmark.collection,
+            small_benchmark.true_labels,
+            config=small_config,
+            ratios=[0.8],
+        )
+        point = result.points[0]
+        cfg = ClusteringConfig.small_reads(
+            acceptance=AcceptanceCriteria(
+                min_score_ratio=0.8,
+                min_overlap=small_config.acceptance.min_overlap,
+            )
+        )
+        run = PaceClusterer(cfg).cluster(small_benchmark.collection)
+        run_q = assess_clustering(
+            run.clusters, small_benchmark.true_clusters(), small_benchmark.n_ests
+        )
+        assert run_q.cc == pytest.approx(point.report.cc, abs=1.0)
+
+    def test_label_count_validated(self, small_benchmark, small_config):
+        with pytest.raises(ValueError, match="labels for"):
+            tune_acceptance(
+                small_benchmark.collection, [0, 1], config=small_config
+            )

@@ -1,0 +1,134 @@
+"""Tests for repro.util: RNG plumbing, timers, validation."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    Stopwatch,
+    TimingBreakdown,
+    check_in_range,
+    check_positive,
+    check_probability,
+    ensure_rng,
+    spawn_rngs,
+)
+
+
+class TestEnsureRng:
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, 10)
+        b = ensure_rng(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passes_through_unchanged(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_children_are_independent(self):
+        a, b = spawn_rngs(7, 2)
+        assert not np.array_equal(a.integers(0, 10**9, 8), b.integers(0, 10**9, 8))
+
+    def test_family_reproducible_from_seed(self):
+        fam1 = [g.integers(0, 10**9) for g in spawn_rngs(5, 3)]
+        fam2 = [g.integers(0, 10**9) for g in spawn_rngs(5, 3)]
+        assert fam1 == fam2
+
+    def test_zero_children(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestStopwatch:
+    def test_accumulates_across_cycles(self):
+        sw = Stopwatch()
+        for _ in range(2):
+            sw.start()
+            time.sleep(0.002)
+            sw.stop()
+        assert sw.elapsed >= 0.004
+
+    def test_double_start_rejected(self):
+        sw = Stopwatch()
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_running_flag(self):
+        sw = Stopwatch()
+        assert not sw.running
+        sw.start()
+        assert sw.running
+        sw.stop()
+        assert not sw.running
+
+
+class TestTimingBreakdown:
+    def test_measure_accumulates_by_name(self):
+        tb = TimingBreakdown()
+        with tb.measure("a"):
+            time.sleep(0.002)
+        with tb.measure("a"):
+            pass
+        assert tb.get("a") >= 0.002
+        assert tb.get("missing") == 0.0
+
+    def test_total_is_sum(self):
+        tb = TimingBreakdown()
+        tb.add("x", 1.0)
+        tb.add("y", 2.0)
+        tb.add("x", 0.5)
+        assert tb.total == pytest.approx(3.5)
+
+    def test_as_row_with_order_appends_total(self):
+        tb = TimingBreakdown()
+        tb.add("x", 1.0)
+        tb.add("y", 2.0)
+        assert tb.as_row(["y", "x", "z"]) == [2.0, 1.0, 0.0, 3.0]
+
+    def test_merge(self):
+        a = TimingBreakdown()
+        a.add("x", 1.0)
+        b = TimingBreakdown()
+        b.add("x", 2.0)
+        b.add("y", 3.0)
+        a.merge(b)
+        assert a.get("x") == 3.0 and a.get("y") == 3.0
+
+
+class TestValidation:
+    def test_check_positive_strict(self):
+        check_positive("v", 1)
+        with pytest.raises(ValueError):
+            check_positive("v", 0)
+
+    def test_check_positive_nonstrict_allows_zero(self):
+        check_positive("v", 0, strict=False)
+        with pytest.raises(ValueError):
+            check_positive("v", -1, strict=False)
+
+    def test_check_probability_bounds(self):
+        check_probability("p", 0.0)
+        check_probability("p", 1.0)
+        with pytest.raises(ValueError):
+            check_probability("p", 1.01)
+        with pytest.raises(ValueError):
+            check_probability("p", -0.01)
+
+    def test_check_in_range(self):
+        check_in_range("r", 5, 0, 10)
+        with pytest.raises(ValueError):
+            check_in_range("r", 11, 0, 10)
