@@ -5,7 +5,7 @@ splicing detection)."""
 from repro.core.config import ClusteringConfig
 from repro.core.incremental import IncrementalClusterer
 from repro.core.pipeline import PaceClusterer
-from repro.core.results import COMPONENT_ORDER, ClusteringResult
+from repro.core.results import COMPONENT_ORDER, ClusteringResult, FaultCounters
 from repro.core.splicing import SplicingEvent, detect_splicing_events
 from repro.core.tuning import ThresholdPoint, TuningResult, tune_acceptance
 
@@ -15,6 +15,7 @@ __all__ = [
     "PaceClusterer",
     "COMPONENT_ORDER",
     "ClusteringResult",
+    "FaultCounters",
     "SplicingEvent",
     "ThresholdPoint",
     "TuningResult",

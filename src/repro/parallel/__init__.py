@@ -1,8 +1,17 @@
 """Parallel clustering: the master-slave protocol of §3.3 executed either
 on a deterministic discrete-event simulated multiprocessor (scaling
-studies) or on real OS processes (functional parallelism)."""
+studies) or on real OS processes (functional parallelism), with a fault
+layer (crash detection, restarts, degraded recovery) on top of both."""
 
 from repro.parallel.cost_model import CostModel
+from repro.parallel.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    FaultTolerance,
+    InjectedFault,
+    SlaveFailure,
+)
 from repro.parallel.mp_backend import cluster_multiprocessing
 from repro.parallel.partition import BucketAssignment, assign_buckets
 from repro.parallel.protocol import MasterLogic, MasterMsg, SlaveLogic, SlaveMsg
@@ -15,6 +24,12 @@ __all__ = [
     "cluster_multiprocessing",
     "BucketAssignment",
     "assign_buckets",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultTolerance",
+    "InjectedFault",
+    "SlaveFailure",
     "MasterLogic",
     "MasterMsg",
     "SlaveLogic",

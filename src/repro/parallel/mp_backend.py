@@ -1,4 +1,4 @@
-"""Real-process execution of the master–slave protocol.
+"""Real-process execution of the master–slave protocol, fault-tolerantly.
 
 The same :class:`~repro.parallel.protocol.MasterLogic` /
 :class:`~repro.parallel.protocol.SlaveLogic` state machines run here over
@@ -12,6 +12,22 @@ real serialization.  Wall-clock *speedup* is the simulator's department:
 this host has a single core, and Python's pickling costs dwarf a 2002
 interconnect — see DESIGN.md §2.
 
+Unlike the paper's protocol (which assumes immortal slaves), this runtime
+survives slave failure.  Detection is three-layered: every pipe
+operation is wrapped against ``EOFError``/``BrokenPipeError``, the
+process sentinel of each slave is polled alongside its pipe, and a
+per-slave deadline flags slaves that owe the master a message but have
+gone silent (hangs).  Recovery is two-staged per
+:class:`~repro.parallel.faults.FaultTolerance`: while the restart budget
+lasts, a dead slave's id is revived by forking a replacement over the
+same bucket ranges (pair generation is deterministic, so the replacement
+reproduces every pair its predecessor could have offered); once the
+budget is spent the master *degrades* — it regenerates the lost slave's
+promising pairs itself and lets the survivors align them, or, with no
+survivor left, finishes the remaining alignments in-process.  Either
+way the run never hangs, never loses an accepted merge, and yields the
+same clusters as the sequential driver (asserted by tests/test_faults).
+
 One engineering shortcut, documented: the suffix array is built once in
 the master and shipped to slaves, rather than each slave building only
 its bucket subtrees.  The distributed-construction cost model is exercised
@@ -22,22 +38,40 @@ makes the copy cheap.
 from __future__ import annotations
 
 import multiprocessing as mp
-from dataclasses import dataclass
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
 from multiprocessing.connection import Connection, wait
 
 from repro.align.extend import PairAligner
 from repro.cluster.greedy import WorkCounters
 from repro.core.config import ClusteringConfig
-from repro.core.results import ClusteringResult
+from repro.core.results import ClusteringResult, FaultCounters
 from repro.pairs.ondemand import OnDemandPairGenerator
 from repro.pairs.sa_generator import SaPairGenerator
+from repro.parallel.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultTolerance,
+    SlaveFailure,
+    drain_workbuf,
+    reabsorb_ranges,
+)
 from repro.parallel.partition import assign_buckets
 from repro.parallel.protocol import MasterLogic, SlaveLogic
+from repro.parallel.trace import TraceRecorder
 from repro.sequence.collection import EstCollection
 from repro.suffix.gst import SuffixArrayGst
 from repro.util.timing import TimingBreakdown
 
 __all__ = ["cluster_multiprocessing"]
+
+_PIPE_ERRORS = (EOFError, BrokenPipeError, ConnectionResetError, OSError)
+
+#: Slave exit codes (diagnostic only; the master keys off pipes/sentinels).
+_EXIT_PIPE_LOST = 3
+_EXIT_ERROR = 4
 
 
 @dataclass(frozen=True)
@@ -47,45 +81,93 @@ class _SlaveStats:
     dp_cells: int
 
 
+_ZERO_STATS = _SlaveStats(produced=0, alignments=0, dp_cells=0)
+
+
+@dataclass(frozen=True)
+class _SlaveError:
+    """Typed crash report: the slave hit an exception in its own
+    computation (sent on the pipe before exiting nonzero)."""
+
+    slave_id: int
+    traceback: str
+
+
 def _slave_worker(
     conn: Connection,
     gst: SuffixArrayGst,
     ranges: list[tuple[int, int]],
     config: ClusteringConfig,
     slave_id: int,
+    fault_plan: FaultPlan | None = None,
+    incarnation: int = 0,
 ) -> None:
-    """Slave process main: bootstrap, then request/response until stop."""
-    generator = SaPairGenerator(gst, psi=config.psi, ranges=ranges)
-    aligner = PairAligner(
-        gst.collection,
-        params=config.scoring,
-        criteria=config.acceptance,
-        band_policy=config.band_policy,
-        use_seed_extension=config.use_seed_extension,
-        engine=config.align_engine,
-    )
-    logic = SlaveLogic(
-        slave_id=slave_id,
-        generator=OnDemandPairGenerator(generator.pairs()),
-        aligner=aligner,
-        batchsize=config.batchsize,
-        pairbuf_capacity=config.pairbuf_capacity,
-    )
-    conn.send(logic.bootstrap())
-    while True:
-        reply = conn.recv()
-        out = logic.step(reply)
-        if out is None:
-            conn.send(
-                _SlaveStats(
-                    produced=logic.generator.produced,
-                    alignments=logic.total_alignments,
-                    dp_cells=logic.total_dp_cells,
+    """Slave process main: bootstrap, then request/response until stop.
+
+    Any exception in pair generation or alignment is reported as a typed
+    :class:`_SlaveError` message before exiting nonzero — a silent death
+    is indistinguishable from a crash and would trigger a pointless
+    restart of a deterministic failure.
+    """
+    injector = FaultInjector(fault_plan, slave_id, incarnation)
+    try:
+        generator = SaPairGenerator(gst, psi=config.psi, ranges=ranges)
+        aligner = PairAligner(
+            gst.collection,
+            params=config.scoring,
+            criteria=config.acceptance,
+            band_policy=config.band_policy,
+            use_seed_extension=config.use_seed_extension,
+            engine=config.align_engine,
+        )
+        logic = SlaveLogic(
+            slave_id=slave_id,
+            generator=OnDemandPairGenerator(generator.pairs()),
+            aligner=aligner,
+            batchsize=config.batchsize,
+            pairbuf_capacity=config.pairbuf_capacity,
+        )
+        out = logic.bootstrap()
+        while True:
+            injector.before_send()
+            conn.send(out)
+            injector.after_send()
+            reply = conn.recv()
+            out = logic.step(reply)
+            if out is None:
+                conn.send(
+                    _SlaveStats(
+                        produced=logic.generator.produced,
+                        alignments=logic.total_alignments,
+                        dp_cells=logic.total_dp_cells,
+                    )
                 )
-            )
-            conn.close()
-            return
-        conn.send(out)
+                conn.close()
+                return
+    except _PIPE_ERRORS:
+        # The master went away (or tore this pipe down on purpose);
+        # there is nobody left to report to.
+        os._exit(_EXIT_PIPE_LOST)
+    except BaseException:
+        try:
+            conn.send(_SlaveError(slave_id=slave_id, traceback=traceback.format_exc()))
+        except Exception:
+            pass
+        os._exit(_EXIT_ERROR)
+
+
+@dataclass
+class _SlaveHandle:
+    """Master-side view of one live slave process."""
+
+    slave_id: int
+    proc: mp.process.BaseProcess
+    conn: Connection
+    #: Monotonic time since which the master has been owed a message
+    #: (``None`` while the slave is parked on the wait queue).
+    expecting_since: float | None
+    restarts: int = 0
+    finished: bool = field(default=False)
 
 
 def cluster_multiprocessing(
@@ -93,74 +175,323 @@ def cluster_multiprocessing(
     config: ClusteringConfig | None = None,
     *,
     n_processors: int = 4,
+    faults: FaultPlan | None = None,
+    tolerance: FaultTolerance | None = None,
+    trace: TraceRecorder | None = None,
 ) -> ClusteringResult:
-    """Cluster with 1 master process + ``n_processors - 1`` slave processes."""
+    """Cluster with 1 master process + ``n_processors - 1`` slave processes.
+
+    ``faults`` injects deterministic failures (testing); ``tolerance``
+    sets detection timeouts and the restart budget; ``trace`` (optional)
+    records fault/recovery events with wall-clock offsets.
+    """
     if n_processors < 2:
         raise ValueError("the parallel machine needs a master and >= 1 slave")
     config = config or ClusteringConfig()
+    tolerance = tolerance or FaultTolerance()
     timings = TimingBreakdown()
     n_slaves = n_processors - 1
+    fault_counters = FaultCounters()
 
     with timings.measure("gst_construction"):
         gst = SuffixArrayGst.build(collection)
     with timings.measure("partitioning"):
         ranges = gst.bucket_ranges(config.w)
         assignment = assign_buckets(ranges, n_slaves)
+    ranges_of = [
+        [(lo, hi) for _key, lo, hi in assignment.per_processor[k]]
+        for k in range(n_slaves)
+    ]
 
     ctx = mp.get_context("fork")
-    conns: list[Connection] = []
-    procs: list[mp.Process] = []
-    try:
-        for k in range(n_slaves):
-            parent_conn, child_conn = ctx.Pipe()
-            own = [(lo, hi) for _key, lo, hi in assignment.per_processor[k]]
-            proc = ctx.Process(
-                target=_slave_worker,
-                args=(child_conn, gst, own, config, k),
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
-            conns.append(parent_conn)
-            procs.append(proc)
+    t0 = time.monotonic()
+    live: dict[int, _SlaveHandle] = {}
+    all_procs: list[mp.process.BaseProcess] = []
+    all_conns: list[Connection] = []
+    stats: dict[int, _SlaveStats] = {}
+    master = MasterLogic(
+        n_ests=collection.n_ests,
+        n_slaves=n_slaves,
+        batchsize=config.batchsize,
+        workbuf_capacity=config.workbuf_capacity,
+    )
+    # Master-side work done in degraded mode (kept out of MasterStats so
+    # the protocol state machine stays engine-agnostic).
+    local_generated = 0
+    local_aligned = 0
+    local_aligner: PairAligner | None = None
 
-        master = MasterLogic(
-            n_ests=collection.n_ests,
-            n_slaves=n_slaves,
-            batchsize=config.batchsize,
-            workbuf_capacity=config.workbuf_capacity,
+    def record_fault(actor: str, detail: str) -> None:
+        if trace is not None:
+            trace.fault(actor, time.monotonic() - t0, detail)
+
+    def spawn(slave_id: int, incarnation: int) -> _SlaveHandle:
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=_slave_worker,
+            args=(
+                child_conn,
+                gst,
+                ranges_of[slave_id],
+                config,
+                slave_id,
+                faults,
+                incarnation,
+            ),
+            daemon=True,
         )
-        stats: dict[int, _SlaveStats] = {}
+        proc.start()
+        child_conn.close()
+        all_procs.append(proc)
+        all_conns.append(parent_conn)
+        return _SlaveHandle(
+            slave_id=slave_id,
+            proc=proc,
+            conn=parent_conn,
+            expecting_since=time.monotonic(),
+            restarts=incarnation,
+        )
+
+    def reap(handle: _SlaveHandle) -> None:
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        if handle.proc.is_alive():
+            handle.proc.terminate()
+        handle.proc.join(timeout=5)
+
+    def send_reply(handle: _SlaveHandle, reply) -> bool:
+        """Send a master reply; False means the pipe is already dead."""
+        try:
+            handle.conn.send(reply)
+        except _PIPE_ERRORS:
+            return False
+        handle.expecting_since = time.monotonic()
+        return True
+
+    def flush_wait_queue(deaths: set[int]) -> None:
+        for waiter_id, waiter_reply in master.drain_wait_queue():
+            handle = live.get(waiter_id)
+            if handle is None:
+                continue
+            if not send_reply(handle, waiter_reply):
+                deaths.add(waiter_id)
+
+    def handle_msg(handle: _SlaveHandle, msg, deaths: set[int]) -> None:
+        if isinstance(msg, _SlaveStats):
+            stats[handle.slave_id] = msg
+            handle.finished = True
+            return
+        if isinstance(msg, _SlaveError):
+            fault_counters.slave_errors += 1
+            record_fault(f"slave{handle.slave_id}", "reported fatal error")
+            raise SlaveFailure(handle.slave_id, msg.traceback)
+        handle.expecting_since = None
+        reply = master.on_message(msg)
+        if reply is not None:
+            if not send_reply(handle, reply):
+                deaths.add(handle.slave_id)
+        flush_wait_queue(deaths)
+
+    def handle_death(slave_id: int, deaths: set[int]) -> None:
+        nonlocal local_generated
+        handle = live.pop(slave_id, None)
+        if handle is None:
+            return
+        reap(handle)
+        if slave_id in master.stopped:
+            # Died after its protocol stop without delivering final stats:
+            # nothing to recover, its stats default to zero.
+            record_fault(f"slave{slave_id}", "exited after stop without stats")
+            return
+        fault_counters.slaves_lost += 1
+        record_fault(f"slave{slave_id}", "lost (crash or timeout)")
+        requeued = master.slave_lost(slave_id)
+        fault_counters.pairs_reassigned += requeued
+        if handle.restarts < tolerance.max_restarts:
+            backoff = tolerance.backoff_for(handle.restarts)
+            if backoff > 0:
+                time.sleep(backoff)
+            master.slave_revived(slave_id)
+            live[slave_id] = spawn(slave_id, handle.restarts + 1)
+            fault_counters.restarts += 1
+            record_fault(
+                f"slave{slave_id}",
+                f"restarted (incarnation {handle.restarts + 1}, "
+                f"{requeued} pairs requeued)",
+            )
+        else:
+            # Degrade: regenerate the lost slave's pairs in the master and
+            # let the survivors (or the master itself) align them.
+            produced, admitted = reabsorb_ranges(
+                master, gst, psi=config.psi, ranges=ranges_of[slave_id]
+            )
+            local_generated += produced
+            fault_counters.pairs_reassigned += admitted
+            record_fault(
+                "master",
+                f"degraded recovery of slave{slave_id}: {requeued} in-flight "
+                f"pairs requeued, {admitted}/{produced} regenerated pairs admitted",
+            )
+        flush_wait_queue(deaths)
+
+    def drain_conn(handle: _SlaveHandle, deaths: set[int], *, first_blocking: bool) -> None:
+        """Receive every available message from one slave.
+
+        ``first_blocking`` performs one blocking ``recv`` first (the pipe
+        was reported ready); subsequent receives only happen while data
+        is already buffered.
+        """
+        try:
+            if first_blocking:
+                handle_msg(handle, handle.conn.recv(), deaths)
+            while (
+                not handle.finished
+                and handle.slave_id in live
+                and handle.slave_id not in deaths
+                and handle.conn.poll()
+            ):
+                handle_msg(handle, handle.conn.recv(), deaths)
+        except _PIPE_ERRORS:
+            deaths.add(handle.slave_id)
+        if handle.finished:
+            live.pop(handle.slave_id, None)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            handle.proc.join(timeout=5)
+
+    try:
         with timings.measure("alignment"):
-            open_conns = {conn: k for k, conn in enumerate(conns)}
-            while open_conns:
-                for conn in wait(list(open_conns)):
-                    k = open_conns[conn]
-                    msg = conn.recv()
-                    if isinstance(msg, _SlaveStats):
-                        stats[k] = msg
-                        conn.close()
-                        del open_conns[conn]
+            for k in range(n_slaves):
+                live[k] = spawn(k, 0)
+
+            stall_polls = 0
+            # Keep looping until the protocol is finished AND every live
+            # slave has drained (final stats arrive after the stop reply).
+            while live or not master.finished():
+                if not live:
+                    break  # nobody left to talk to; degrade below
+
+                by_object: dict[object, tuple[int, str]] = {}
+                for k, handle in live.items():
+                    by_object[handle.conn] = (k, "conn")
+                    by_object[handle.proc.sentinel] = (k, "sentinel")
+                ready = wait(list(by_object), timeout=tolerance.poll_interval)
+                deaths: set[int] = set()
+
+                # Pipes first: a dying slave may have flushed final
+                # messages (or a typed error report) before exiting.
+                for obj in ready:
+                    k, kind = by_object[obj]
+                    if kind != "conn":
                         continue
-                    reply = master.on_message(msg)
-                    if reply is not None:
-                        conn.send(reply)
-                    for waiter_id, waiter_reply in master.drain_wait_queue():
-                        conns[waiter_id].send(waiter_reply)
-        if not master.finished():  # pragma: no cover - protocol invariant
-            raise RuntimeError("all pipes closed before every slave stopped")
+                    handle = live.get(k)
+                    if handle is None or k in deaths:
+                        continue
+                    drain_conn(handle, deaths, first_blocking=True)
+                for obj in ready:
+                    k, kind = by_object[obj]
+                    if kind != "sentinel":
+                        continue
+                    handle = live.get(k)
+                    if handle is None or k in deaths:
+                        continue
+                    drain_conn(handle, deaths, first_blocking=False)
+                    if k in live and k not in deaths:
+                        deaths.add(k)  # process exited without a clean stop
+                # Deadlines: a slave that owes a message and has gone
+                # silent is dead to the protocol even if the OS still
+                # shows a process (hang/livelock).
+                now = time.monotonic()
+                for k, handle in list(live.items()):
+                    if k in deaths or handle.expecting_since is None:
+                        continue
+                    if now - handle.expecting_since > tolerance.slave_timeout:
+                        record_fault(f"slave{k}", "deadline exceeded")
+                        deaths.add(k)
+                pending_deaths = sorted(deaths)
+                processed: set[int] = set()
+                while pending_deaths:
+                    k = pending_deaths.pop(0)
+                    if k in processed:
+                        continue
+                    processed.add(k)
+                    cascade: set[int] = set()
+                    handle_death(k, cascade)
+                    pending_deaths.extend(sorted(cascade - processed))
+                deaths |= processed
+
+                # Stall guard: if nothing is in flight and nobody owes us
+                # a message, only the master could make progress — and it
+                # just declined to.  Raising beats hanging forever.
+                if ready or deaths:
+                    stall_polls = 0
+                elif all(h.expecting_since is None for h in live.values()):
+                    flush_wait_queue(deaths)
+                    for k in sorted(deaths):
+                        handle_death(k, set())
+                    stall_polls += 1
+                    if stall_polls > 2:
+                        raise RuntimeError(
+                            "parallel runtime stalled: every slave is parked, "
+                            "WORKBUF is empty, and the protocol cannot finish "
+                            f"({sorted(live)} live, "
+                            f"{sorted(master.stopped)} stopped)"
+                        )
+
+            if master.workbuf:
+                # Only reachable when slaves died with restarts exhausted:
+                # their ranges were reabsorbed into WORKBUF but no slave
+                # survived to align them, so the master finishes the
+                # remaining alignments itself (last-resort degraded mode).
+                if local_aligner is None:
+                    local_aligner = PairAligner(
+                        collection,
+                        params=config.scoring,
+                        criteria=config.acceptance,
+                        band_policy=config.band_policy,
+                        use_seed_extension=config.use_seed_extension,
+                        engine=config.align_engine,
+                    )
+                local_aligned += drain_workbuf(master, local_aligner)
+                record_fault(
+                    "master",
+                    f"finished degraded: aligned {local_aligned} pairs locally",
+                )
+            if not master.finished():  # pragma: no cover - protocol invariant
+                raise RuntimeError("runtime exited before every slave stopped")
     finally:
-        for proc in procs:
+        for conn in all_conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in all_procs:
             proc.join(timeout=10)
             if proc.is_alive():
                 proc.terminate()
+                proc.join(timeout=5)
 
+    # Slaves that never reported final stats (crashes) default to zeroed
+    # stats and are counted explicitly, rather than silently undercounted.
+    fault_counters.incomplete_slaves = n_slaves - len(stats)
+    local_dp_cells = local_aligner.dp_cells_total if local_aligner else 0
     counters = WorkCounters(
-        pairs_generated=sum(s.produced for s in stats.values()),
+        pairs_generated=sum(
+            stats.get(k, _ZERO_STATS).produced for k in range(n_slaves)
+        )
+        + local_generated,
         pairs_skipped=master.stats.pairs_offered - master.stats.pairs_admitted,
-        pairs_processed=sum(s.alignments for s in stats.values()),
+        pairs_processed=sum(
+            stats.get(k, _ZERO_STATS).alignments for k in range(n_slaves)
+        )
+        + local_aligned,
         pairs_accepted=master.stats.results_accepted,
-        dp_cells=sum(s.dp_cells for s in stats.values()),
+        dp_cells=sum(stats.get(k, _ZERO_STATS).dp_cells for k in range(n_slaves))
+        + local_dp_cells,
     )
     return ClusteringResult(
         n_ests=collection.n_ests,
@@ -168,4 +499,5 @@ def cluster_multiprocessing(
         counters=counters,
         timings=timings,
         merges=list(master.manager.merges),
+        faults=fault_counters,
     )

@@ -29,12 +29,25 @@ One pragmatic addition: each slave message carries
 ``has_pending_results`` (it still holds an unreported NEXTWORK), which
 lets the master drain in-flight work before sending ``stop`` without
 guessing bootstrap portion sizes.
+
+Fault extension (not in the paper, which assumes immortal slaves): the
+master tracks the work batches it dispatched to each slave that have not
+yet been reported back (``in_flight``).  :meth:`MasterLogic.slave_lost`
+removes a dead slave from the protocol — off the wait queue, counted out
+of ``active_slaves`` and termination — and requeues its unreported
+dispatched pairs into WORKBUF so no accepted merge can be lost.
+:meth:`MasterLogic.slave_revived` re-admits the same slave id when the
+engine forks a replacement (which re-enters via a fresh bootstrap), and
+:meth:`MasterLogic.absorb_pairs` lets an engine feed master-regenerated
+pairs through the normal admission filter (degraded recovery; see
+:mod:`repro.parallel.faults`).
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.align.extend import PairAligner
 from repro.align.scoring import AlignmentResult
@@ -90,6 +103,7 @@ class MasterStats:
     pairs_dispatched: int = 0
     merges: int = 0
     workbuf_peak: int = 0
+    pairs_reassigned: int = 0  # in-flight pairs requeued from lost slaves
 
 
 class MasterLogic:
@@ -113,7 +127,14 @@ class MasterLogic:
         self.passive: set[int] = set()
         self.stopped: set[int] = set()
         self.waiting: set[int] = set()
+        self.lost: set[int] = set()
         self.pending_results: dict[int, bool] = {}
+        # Work batches dispatched to each slave and not yet reported back.
+        # Replies and slave messages strictly alternate per slave, and the
+        # results in a message cover the batch from the *previous* reply
+        # (the newest batch is the NEXTWORK the slave is still holding),
+        # so at most the two newest batches are ever outstanding.
+        self.in_flight: dict[int, deque[tuple[Pair, ...]]] = {}
         self.stats = MasterStats()
 
     # ------------------------------------------------------------------ #
@@ -127,7 +148,7 @@ class MasterLogic:
         return self.workbuf_capacity - len(self.workbuf)
 
     def finished(self) -> bool:
-        return len(self.stopped) == self.n_slaves
+        return len(self.stopped | self.lost) == self.n_slaves
 
     # ------------------------------------------------------------------ #
 
@@ -137,6 +158,12 @@ class MasterLogic:
         :meth:`drain_wait_queue`)."""
         self.stats.messages += 1
         self.pending_results[msg.slave_id] = msg.has_pending_results
+        # The results just received cover every dispatched batch except
+        # the newest one (still held as the slave's NEXTWORK).
+        flight = self.in_flight.get(msg.slave_id)
+        if flight:
+            while len(flight) > 1:
+                flight.popleft()
 
         # 1. Update CLUSTERS from the R results.
         for pair, result, accepted in msg.results:
@@ -178,14 +205,25 @@ class MasterLogic:
         e = self._compute_request(slave_id, p, p_prime)
 
         if work or e > 0:
+            self._note_dispatch(slave_id, work)
             return MasterMsg(work=work, request=e)
 
         # Nothing to give and nothing to ask for.
         if self._all_done(slave_id):
-            self.stopped.add(slave_id)
+            self._note_stop(slave_id)
             return MasterMsg(work=(), request=0, stop=True)
         self.waiting.add(slave_id)
         return None
+
+    def _note_dispatch(self, slave_id: int, work: tuple[Pair, ...]) -> None:
+        """Record a (possibly empty) dispatched batch; emptiness matters
+        because receipt bookkeeping relies on strict reply/message
+        alternation per slave."""
+        self.in_flight.setdefault(slave_id, deque()).append(work)
+
+    def _note_stop(self, slave_id: int) -> None:
+        self.stopped.add(slave_id)
+        self.in_flight.pop(slave_id, None)
 
     def _compute_request(self, slave_id: int, p: int, p_prime: int) -> int:
         if slave_id in self.passive:
@@ -222,16 +260,72 @@ class MasterLogic:
                 w = min(self.batchsize, len(self.workbuf))
                 work = tuple(self.workbuf.popleft() for _ in range(w))
                 self.stats.pairs_dispatched += len(work)
+                self._note_dispatch(slave_id, work)
                 replies.append((slave_id, MasterMsg(work=work, request=0)))
             elif len(self.passive) == self.n_slaves:
                 self.waiting.discard(slave_id)
                 if self.pending_results.get(slave_id, False):
                     # Elicit the final results with an empty work message.
+                    self._note_dispatch(slave_id, ())
                     replies.append((slave_id, MasterMsg(work=(), request=0)))
                 else:
-                    self.stopped.add(slave_id)
+                    self._note_stop(slave_id)
                     replies.append((slave_id, MasterMsg(work=(), request=0, stop=True)))
         return replies
+
+    # ------------------------------------------------------------------ #
+    # Fault transitions (engine-driven; see repro.parallel.faults).
+    # ------------------------------------------------------------------ #
+
+    def slave_lost(self, slave_id: int) -> int:
+        """Drop a dead slave from the protocol.
+
+        The slave leaves the wait queue, stops counting toward
+        ``active_slaves`` and termination, and every pair the master had
+        dispatched to it without seeing results is requeued into WORKBUF
+        (filtered through the usual already-co-clustered test).  Returns
+        the number of pairs requeued.
+        """
+        if slave_id in self.stopped:
+            return 0  # stopped cleanly first; nothing outstanding
+        self.lost.add(slave_id)
+        self.passive.add(slave_id)
+        self.waiting.discard(slave_id)
+        self.pending_results[slave_id] = False
+        requeued = 0
+        for batch in self.in_flight.pop(slave_id, ()):
+            for pair in batch:
+                if not self.manager.same_cluster(pair.est_a, pair.est_b):
+                    self.workbuf.append(pair)
+                    requeued += 1
+        self.stats.pairs_reassigned += requeued
+        if len(self.workbuf) > self.stats.workbuf_peak:
+            self.stats.workbuf_peak = len(self.workbuf)
+        return requeued
+
+    def slave_revived(self, slave_id: int) -> None:
+        """Re-admit a slave id whose replacement process is about to
+        re-enter via a fresh bootstrap message."""
+        self.lost.discard(slave_id)
+        self.passive.discard(slave_id)
+        self.stopped.discard(slave_id)
+        self.waiting.discard(slave_id)
+        self.pending_results.pop(slave_id, None)
+        self.in_flight.pop(slave_id, None)
+
+    def absorb_pairs(self, pairs: Iterable[Pair]) -> int:
+        """Admit engine-regenerated pairs (degraded recovery) through the
+        normal selection filter.  Returns the number admitted."""
+        admitted = 0
+        for pair in pairs:
+            self.stats.pairs_offered += 1
+            if not self.manager.same_cluster(pair.est_a, pair.est_b):
+                self.workbuf.append(pair)
+                admitted += 1
+        self.stats.pairs_admitted += admitted
+        if len(self.workbuf) > self.stats.workbuf_peak:
+            self.stats.workbuf_peak = len(self.workbuf)
+        return admitted
 
 
 @dataclass

@@ -8,6 +8,11 @@ Two engines execute the identical protocol:
 - ``machine="multiprocessing"`` — real OS processes over pipes
   (functional parallelism; wall-clock numbers are Python's, not the
   paper's IBM SP).
+
+Both accept a :class:`~repro.parallel.faults.FaultPlan` (inject slave
+crashes, hangs and delays deterministically) and a
+:class:`~repro.parallel.faults.FaultTolerance` (detection timeouts,
+restart budget); recovery events land in ``result.faults``.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from __future__ import annotations
 from repro.core.config import ClusteringConfig
 from repro.core.results import ClusteringResult
 from repro.parallel.cost_model import CostModel
+from repro.parallel.faults import FaultPlan, FaultTolerance
 from repro.parallel.mp_backend import cluster_multiprocessing
 from repro.parallel.sim_machine import SimulatedMachine, SimulationReport
 from repro.sequence.collection import EstCollection
@@ -30,6 +36,8 @@ def simulate_clustering(
     n_processors: int = 8,
     cost_model: CostModel | None = None,
     gst: SuffixArrayGst | None = None,
+    faults: FaultPlan | None = None,
+    tolerance: FaultTolerance | None = None,
 ) -> SimulationReport:
     """Run one simulated parallel clustering and return its full report.
 
@@ -43,6 +51,8 @@ def simulate_clustering(
         n_processors=n_processors,
         cost_model=cost_model,
         gst=gst,
+        faults=faults,
+        tolerance=tolerance,
     )
     return machine.run()
 
@@ -54,13 +64,26 @@ def run_parallel(
     n_processors: int = 8,
     machine: str = "simulated",
     cost_model: CostModel | None = None,
+    faults: FaultPlan | None = None,
+    tolerance: FaultTolerance | None = None,
 ) -> ClusteringResult:
     """Parallel clustering with either engine, returning the result object
     (for the simulated engine, timings are virtual seconds)."""
     if machine == "simulated":
         return simulate_clustering(
-            collection, config, n_processors=n_processors, cost_model=cost_model
+            collection,
+            config,
+            n_processors=n_processors,
+            cost_model=cost_model,
+            faults=faults,
+            tolerance=tolerance,
         ).result
     if machine == "multiprocessing":
-        return cluster_multiprocessing(collection, config, n_processors=n_processors)
+        return cluster_multiprocessing(
+            collection,
+            config,
+            n_processors=n_processors,
+            faults=faults,
+            tolerance=tolerance,
+        )
     raise ValueError(f"unknown machine {machine!r} (simulated|multiprocessing)")

@@ -23,9 +23,11 @@ __all__ = ["TraceEvent", "TraceRecorder", "render_timeline", "utilisation"]
 class TraceEvent:
     """One trace record.
 
-    ``kind`` ∈ {send, recv, compute}; ``actor`` is "master" or
+    ``kind`` ∈ {send, recv, compute, fault}; ``actor`` is "master" or
     "slave<k>"; ``start``/``end`` delimit the interval (equal for
-    instantaneous events); ``detail`` is a short human label.
+    instantaneous events); ``detail`` is a short human label.  ``fault``
+    events record slave crashes and the master's recovery actions
+    (detection, restart, reassignment) in both engines.
     """
 
     kind: str
@@ -54,7 +56,15 @@ class TraceRecorder:
     def compute(self, actor: str, start: float, end: float, detail: str = "") -> None:
         self.events.append(TraceEvent("compute", actor, start, end, detail))
 
+    def fault(self, actor: str, at: float, detail: str = "") -> None:
+        """A crash, detection, restart, or reassignment event."""
+        self.events.append(TraceEvent("fault", actor, at, at, detail))
+
     # ------------------------------------------------------------------ #
+
+    def faults(self) -> list[TraceEvent]:
+        """The recovery-relevant subset of the event stream."""
+        return [e for e in self.events if e.kind == "fault"]
 
     def by_actor(self, actor: str) -> list[TraceEvent]:
         return [e for e in self.events if e.actor == actor]
