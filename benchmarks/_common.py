@@ -98,3 +98,14 @@ def _fmt(v) -> str:
 def save_table(name: str, lines: list[str]) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text("\n".join(lines) + "\n")
+
+
+def save_telemetry(name: str, snapshot) -> None:
+    """Write one run's telemetry snapshot (per-phase timings, metrics,
+    machine trace) into ``benchmarks/results/<name>.jsonl`` — same layer
+    and schema as ``pace-est cluster --telemetry-out``, so
+    ``pace-est report`` summarises bench runs too."""
+    from repro.telemetry import export_jsonl
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    export_jsonl(snapshot, RESULTS_DIR / f"{name}.jsonl")

@@ -15,9 +15,10 @@ scaled 20,000-EST stand-in.
 
 from __future__ import annotations
 
-from _common import bench_config, dataset, dataset_gst, format_table
+from _common import bench_config, dataset, dataset_gst, format_table, save_telemetry
 from repro.core.results import COMPONENT_ORDER
 from repro.parallel import simulate_clustering
+from repro.telemetry import Telemetry, validate_records, snapshot_records
 
 PROCESSORS = [8, 16, 32, 64, 128]
 PAPER_N = 20_000
@@ -31,7 +32,13 @@ def test_table3_components(benchmark, paper_table):
     rows = []
     totals = {}
     for p in PROCESSORS:
-        rep = simulate_clustering(bench.collection, cfg, n_processors=p, gst=gst)
+        tel = Telemetry()
+        rep = simulate_clustering(
+            bench.collection, cfg, n_processors=p, gst=gst, telemetry=tel
+        )
+        snapshot = rep.result.telemetry
+        assert not validate_records(snapshot_records(snapshot))
+        save_telemetry(f"table3_components_p{p}", snapshot)
         t = rep.result.timings
         rows.append(
             [p]

@@ -33,9 +33,15 @@ from repro.align.overlaps import classify_pattern
 from repro.align.scoring import AcceptanceCriteria, AlignmentResult, ScoringParams
 from repro.pairs.pair import Pair
 from repro.sequence.collection import EstCollection
+from repro.telemetry import Telemetry
 from repro.util.validation import check_in_range, check_positive
 
-__all__ = ["BandPolicy", "PairAligner"]
+__all__ = ["BandPolicy", "PairAligner", "BAND_WIDTH_BUCKETS"]
+
+#: Histogram bounds for DP band widths: ``band_min`` defaults to 5 and
+#: bands grow as ~6% of the extension length, so full-length EST
+#: extensions (~550 bp) land in the 25–50 bucket.
+BAND_WIDTH_BUCKETS: tuple[float, ...] = (2, 4, 8, 16, 32, 64, 128)
 
 
 @dataclass(frozen=True)
@@ -75,6 +81,7 @@ class PairAligner:
         *,
         use_seed_extension: bool = True,
         engine: str = "banded",
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.collection = collection
         self.params = params or ScoringParams()
@@ -90,6 +97,10 @@ class PairAligner:
         if engine not in ("banded", "kdiff"):
             raise ValueError(f"unknown extension engine {engine!r}")
         self.engine = engine
+        #: Optional telemetry session: band widths and accept/reject
+        #: counts flow into its registry (``None`` keeps this hot path
+        #: entirely uninstrumented).
+        self.telemetry = telemetry
         self.alignments_performed = 0
         #: Work actually performed by the selected engine (DP cells for the
         #: banded/full paths, diagonal slots for kdiff).
@@ -122,7 +133,12 @@ class PairAligner:
 
     def align_and_decide(self, pair: Pair) -> tuple[AlignmentResult, bool]:
         result = self.align_pair(pair)
-        return result, self.accept(result)
+        accepted = self.accept(result)
+        if self.telemetry is not None:
+            self.telemetry.count(
+                "align.accepted" if accepted else "align.rejected"
+            )
+        return result, accepted
 
     # ------------------------------------------------------------------ #
 
@@ -151,6 +167,9 @@ class PairAligner:
         ly = b[:off_b][::-1]
         band_l = self.band_policy.band_for(min(len(lx), len(ly)))
         left = extend(lx, ly, band_l)
+        if self.telemetry is not None:
+            self.telemetry.observe("align.band_width", band_r, BAND_WIDTH_BUCKETS)
+            self.telemetry.observe("align.band_width", band_l, BAND_WIDTH_BUCKETS)
 
         # Banded-equivalent work for the cost model: each extension costs
         # its band area, plus the seed scan.

@@ -1,16 +1,23 @@
-"""Command-line interface: cluster / simulate / evaluate.
+"""Command-line interface: cluster / simulate / evaluate / report.
 
 The original PaCE shipped as a command-line program; this module provides
 the equivalent driver surface::
 
     pace-est cluster ests.fa -o clusters.tsv --psi 25 --min-overlap 40
     pace-est cluster ests.fa --parallel 8 --machine simulated
+    pace-est cluster ests.fa --parallel 4 --telemetry-out trace.jsonl
     pace-est simulate bench.fa --genes 20 --coverage 10 --truth truth.tsv
     pace-est evaluate clusters.tsv truth.tsv
+    pace-est report trace.jsonl
 
-``cluster`` writes a two-column TSV (EST name, cluster id); ``simulate``
-writes a FASTA benchmark plus its ground-truth TSV; ``evaluate`` prints
-the paper's OQ/OV/UN/CC metrics between two assignment files.
+``cluster`` writes a two-column TSV (EST name, cluster id) and, with
+``--telemetry-out``, the run's full telemetry stream as JSONL;
+``simulate`` writes a FASTA benchmark plus its ground-truth TSV;
+``evaluate`` prints the paper's OQ/OV/UN/CC metrics between two
+assignment files; ``report`` validates a telemetry JSONL file and
+reconstructs the paper-shaped measurements from it (per-phase times in
+Table 3's components, per-slave utilisation, the Fig. 8 master-busy
+fraction, counters/histograms, fault accounting).
 """
 
 from __future__ import annotations
@@ -26,6 +33,13 @@ from repro.metrics import assess_clustering
 from repro.parallel import run_parallel
 from repro.sequence import EstCollection, FastaRecord, read_fasta, write_fasta
 from repro.simulate import BenchmarkParams, make_benchmark
+from repro.telemetry import (
+    Telemetry,
+    export_jsonl,
+    load_jsonl,
+    summarise,
+    validate_records,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -54,6 +68,10 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--representatives", type=Path, metavar="FASTA",
                    help="write one representative EST per cluster (the "
                         "member with the most merge-overlap evidence)")
+    c.add_argument("--telemetry-out", type=Path, metavar="JSONL",
+                   help="record spans, metrics and the machine trace; "
+                        "write them as JSONL here (summarise with "
+                        "'pace-est report')")
 
     s = sub.add_parser("simulate", help="generate a synthetic EST benchmark")
     s.add_argument("fasta", type=Path, help="output FASTA")
@@ -68,6 +86,13 @@ def build_parser() -> argparse.ArgumentParser:
     e = sub.add_parser("evaluate", help="score a clustering against truth")
     e.add_argument("predicted", type=Path, help="TSV: name<TAB>cluster")
     e.add_argument("truth", type=Path, help="TSV: name<TAB>cluster")
+
+    r = sub.add_parser(
+        "report", help="validate + summarise a telemetry JSONL trace"
+    )
+    r.add_argument("trace", type=Path, help="JSONL file from --telemetry-out")
+    r.add_argument("--timeline", type=int, default=0, metavar="N",
+                   help="also print the first N machine-trace events")
 
     return parser
 
@@ -96,12 +121,24 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             min_score_ratio=args.min_ratio, min_overlap=args.min_overlap
         ),
     )
+    telemetry = Telemetry() if args.telemetry_out else None
     if args.parallel:
         result = run_parallel(
-            collection, config, n_processors=args.parallel, machine=args.machine
+            collection,
+            config,
+            n_processors=args.parallel,
+            machine=args.machine,
+            telemetry=telemetry,
         )
     else:
-        result = PaceClusterer(config).cluster(collection)
+        result = PaceClusterer(config).cluster(collection, telemetry=telemetry)
+
+    if args.telemetry_out:
+        n_records = export_jsonl(result.telemetry, args.telemetry_out)
+        print(
+            f"wrote {n_records} telemetry records to {args.telemetry_out}",
+            file=sys.stderr,
+        )
 
     print(result.summary(), file=sys.stderr)
     print(profile_clusters(result.clusters), file=sys.stderr)
@@ -208,6 +245,33 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    records = load_jsonl(args.trace)
+    problems = validate_records(records)
+    if problems:
+        for problem in problems:
+            print(f"schema: {problem}", file=sys.stderr)
+        raise SystemExit(f"{args.trace}: {len(problems)} schema problem(s)")
+    print(summarise(records))
+    if args.timeline:
+        from repro.telemetry import TraceRecorder, render_timeline
+        from repro.telemetry.trace import TraceEvent
+
+        trace = TraceRecorder(
+            events=[
+                TraceEvent(
+                    r["event"], r["actor"], r["ts"], r.get("end", r["ts"]),
+                    r.get("detail", ""),
+                )
+                for r in records
+                if r.get("kind") == "trace"
+            ]
+        )
+        print()
+        print(render_timeline(trace, max_events=args.timeline))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "cluster":
@@ -216,8 +280,18 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_simulate(args)
     if args.command == "evaluate":
         return _cmd_evaluate(args)
+    if args.command == "report":
+        return _cmd_report(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-report; exit quietly
+        # (devnull keeps the interpreter from re-raising at shutdown).
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        raise SystemExit(0)

@@ -5,6 +5,12 @@ the paper: GST construction → on-demand pair generation → pair selection →
 pairwise alignment → cluster management, and reports the per-component
 timing breakdown in Table 3's categories.
 
+Instrumentation: every phase runs inside a telemetry span (see
+:mod:`repro.telemetry`), so passing ``telemetry=Telemetry()`` to
+:meth:`PaceClusterer.cluster` yields a structured event stream plus
+alignment/pair metrics on ``result.telemetry``; without it, a disabled
+session accumulates only the phase seconds the result has always carried.
+
 For multi-processor runs (real or simulated) see
 :mod:`repro.parallel.runtime`; for adding new EST batches to an existing
 clustering see :mod:`repro.core.incremental`.
@@ -24,6 +30,7 @@ from repro.pairs.pair import Pair
 from repro.pairs.sa_generator import SaPairGenerator
 from repro.sequence.collection import EstCollection
 from repro.suffix.gst import NaiveGst, SuffixArrayGst
+from repro.telemetry import Telemetry
 from repro.util.timing import TimingBreakdown
 
 __all__ = ["PaceClusterer"]
@@ -37,12 +44,18 @@ class PaceClusterer:
 
     # ------------------------------------------------------------------ #
 
-    def cluster(self, collection: EstCollection) -> ClusteringResult:
+    def cluster(
+        self,
+        collection: EstCollection,
+        *,
+        telemetry: Telemetry | None = None,
+    ) -> ClusteringResult:
         """Cluster a collection end to end."""
         cfg = self.config
-        timings = TimingBreakdown()
+        tel = telemetry if telemetry is not None else Telemetry(enabled=False)
+        timings = TimingBreakdown(registry=tel.registry)
 
-        with timings.measure("gst_construction"):
+        with tel.span("gst_construction", n_ests=collection.n_ests):
             if cfg.backend == "suffix_array":
                 gst = SuffixArrayGst.build(collection)
             else:
@@ -51,7 +64,7 @@ class PaceClusterer:
         # Forest construction + decreasing-depth ordering happen lazily in
         # the generators; constructing the generator here accounts the
         # eager part (forest building) under "sort_nodes", like Table 3.
-        with timings.measure("sort_nodes"):
+        with tel.span("sort_nodes"):
             if cfg.backend == "suffix_array":
                 generator = SaPairGenerator(gst, psi=cfg.psi)
             else:
@@ -64,10 +77,11 @@ class PaceClusterer:
             band_policy=cfg.band_policy,
             use_seed_extension=cfg.use_seed_extension,
             engine=cfg.align_engine,
+            telemetry=tel if tel.enabled else None,
         )
         manager = ClusterManager(collection.n_ests)
         counters = WorkCounters()
-        with timings.measure("alignment"):
+        with tel.span("alignment"):
             greedy_cluster(
                 generator.pairs(),
                 aligner,
@@ -76,6 +90,10 @@ class PaceClusterer:
                 counters=counters,
             )
 
+        snapshot = None
+        if telemetry is not None:
+            tel.count("pairs.produced", counters.pairs_generated)
+            snapshot = tel.snapshot(engine="sequential", n_processors=1)
         return ClusteringResult(
             n_ests=collection.n_ests,
             clusters=manager.clusters(),
@@ -83,17 +101,23 @@ class PaceClusterer:
             timings=timings,
             gen_stats=generator.stats,
             merges=list(manager.merges),
+            telemetry=snapshot,
         )
 
     # ------------------------------------------------------------------ #
 
     def cluster_pairs(
-        self, collection: EstCollection, pair_stream: Iterable[Pair]
+        self,
+        collection: EstCollection,
+        pair_stream: Iterable[Pair],
+        *,
+        telemetry: Telemetry | None = None,
     ) -> ClusteringResult:
         """Cluster from an externally-supplied pair stream (ablations and
         baselines feed arbitrary-order streams through this)."""
         cfg = self.config
-        timings = TimingBreakdown()
+        tel = telemetry if telemetry is not None else Telemetry(enabled=False)
+        timings = TimingBreakdown(registry=tel.registry)
         aligner = PairAligner(
             collection,
             params=cfg.scoring,
@@ -101,10 +125,11 @@ class PaceClusterer:
             band_policy=cfg.band_policy,
             use_seed_extension=cfg.use_seed_extension,
             engine=cfg.align_engine,
+            telemetry=tel if tel.enabled else None,
         )
         manager = ClusterManager(collection.n_ests)
         counters = WorkCounters()
-        with timings.measure("alignment"):
+        with tel.span("alignment"):
             greedy_cluster(
                 pair_stream,
                 aligner,
@@ -112,10 +137,14 @@ class PaceClusterer:
                 skip_clustered=cfg.skip_clustered,
                 counters=counters,
             )
+        snapshot = None
+        if telemetry is not None:
+            snapshot = tel.snapshot(engine="sequential", n_processors=1)
         return ClusteringResult(
             n_ests=collection.n_ests,
             clusters=manager.clusters(),
             counters=counters,
             timings=timings,
             merges=list(manager.merges),
+            telemetry=snapshot,
         )

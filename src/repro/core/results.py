@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from repro.cluster.greedy import WorkCounters
 from repro.cluster.manager import MergeRecord
 from repro.pairs.sa_generator import PairGenStats
+from repro.telemetry import TelemetrySnapshot
 from repro.util.timing import TimingBreakdown
 
 __all__ = ["ClusteringResult", "FaultCounters", "COMPONENT_ORDER"]
@@ -64,7 +65,12 @@ class ClusteringResult:
     component breakdown; ``gen_stats`` the generator-side counters
     (including the peak lset footprint behind the O(N)-space claim);
     ``faults`` the fault-and-recovery accounting of parallel runs
-    (``None`` for sequential drivers, which have no slaves to lose).
+    (``None`` for sequential drivers, which have no slaves to lose);
+    ``telemetry`` the full measurement snapshot (spans, metrics, machine
+    trace) when the run was handed a live :class:`~repro.telemetry.
+    Telemetry` session — exportable with
+    :func:`repro.telemetry.export_jsonl` and summarised by
+    ``pace-est report``.
     """
 
     n_ests: int
@@ -74,6 +80,7 @@ class ClusteringResult:
     gen_stats: PairGenStats | None = None
     merges: list[MergeRecord] = field(default_factory=list)
     faults: FaultCounters | None = None
+    telemetry: TelemetrySnapshot | None = None
 
     @property
     def n_clusters(self) -> int:

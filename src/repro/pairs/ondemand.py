@@ -7,6 +7,11 @@ that into the batch-oriented interface the clustering drivers and the
 slave protocol consume: ``next_batch(k)`` returns up to ``k`` fresh pairs
 and ``exhausted`` reports end-of-stream, mirroring a slave processor
 "running out of pairs" and turning passive (§3.3).
+
+When handed a :class:`~repro.telemetry.Telemetry` session, every batch is
+counted (``pairs.produced``) and its size observed into the
+``pairs.batch_size`` histogram — the distribution behind the paper's
+batchsize tuning (Fig. 8).
 """
 
 from __future__ import annotations
@@ -14,17 +19,25 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from repro.pairs.pair import Pair
+from repro.telemetry import Telemetry
 
-__all__ = ["OnDemandPairGenerator"]
+__all__ = ["OnDemandPairGenerator", "BATCH_SIZE_BUCKETS"]
+
+#: Histogram bounds for batch sizes: the paper sweeps batchsize over
+#: roughly 10–500 (Fig. 8), and partial end-of-stream batches go small.
+BATCH_SIZE_BUCKETS: tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500)
 
 
 class OnDemandPairGenerator:
     """Pull-based batching wrapper around a lazy pair stream."""
 
-    def __init__(self, pair_stream: Iterable[Pair]) -> None:
+    def __init__(
+        self, pair_stream: Iterable[Pair], *, telemetry: Telemetry | None = None
+    ) -> None:
         self._it: Iterator[Pair] = iter(pair_stream)
         self._exhausted = False
         self._produced = 0
+        self._telemetry = telemetry
 
     @property
     def exhausted(self) -> bool:
@@ -47,6 +60,11 @@ class OnDemandPairGenerator:
             except StopIteration:
                 self._exhausted = True
         self._produced += len(batch)
+        if self._telemetry is not None and batch:
+            self._telemetry.count("pairs.produced", len(batch))
+            self._telemetry.observe(
+                "pairs.batch_size", len(batch), BATCH_SIZE_BUCKETS
+            )
         return batch
 
     def __iter__(self) -> Iterator[Pair]:
@@ -58,4 +76,6 @@ class OnDemandPairGenerator:
                 self._exhausted = True
                 return
             self._produced += 1
+            if self._telemetry is not None:
+                self._telemetry.count("pairs.produced", 1)
             yield item

@@ -60,9 +60,11 @@ from repro.parallel.faults import (
 )
 from repro.parallel.partition import assign_buckets
 from repro.parallel.protocol import MasterLogic, SlaveLogic
-from repro.parallel.trace import TraceRecorder
+from repro.parallel.trace import TraceEvent, TraceRecorder
 from repro.sequence.collection import EstCollection
 from repro.suffix.gst import SuffixArrayGst
+from repro.telemetry import Telemetry
+from repro.telemetry.registry import DEFAULT_BUCKETS
 from repro.util.timing import TimingBreakdown
 
 __all__ = ["cluster_multiprocessing"]
@@ -76,9 +78,20 @@ _EXIT_ERROR = 4
 
 @dataclass(frozen=True)
 class _SlaveStats:
+    """Final per-slave report, sent on the pipe after the protocol stop.
+
+    When telemetry is on it also carries the slave's recorded timeline
+    (``events``), its span event stream (``span_events``) and its metrics
+    registry snapshot (``metrics``) — this is how slave-side telemetry
+    reaches the master without any channel beyond the existing pipes.
+    """
+
     produced: int
     alignments: int
     dp_cells: int
+    events: tuple[TraceEvent, ...] = ()
+    span_events: tuple[dict, ...] = ()
+    metrics: dict | None = None
 
 
 _ZERO_STATS = _SlaveStats(produced=0, alignments=0, dp_cells=0)
@@ -101,8 +114,15 @@ def _slave_worker(
     slave_id: int,
     fault_plan: FaultPlan | None = None,
     incarnation: int = 0,
+    telemetry_origin: float | None = None,
 ) -> None:
     """Slave process main: bootstrap, then request/response until stop.
+
+    ``telemetry_origin`` (the master session's monotonic origin) switches
+    on slave-side telemetry: this process keeps its own recorder — wall
+    offsets directly comparable to the master's, since ``CLOCK_MONOTONIC``
+    is machine-wide — and ships everything back inside its final
+    :class:`_SlaveStats`.
 
     Any exception in pair generation or alignment is reported as a typed
     :class:`_SlaveError` message before exiting nonzero — a silent death
@@ -110,8 +130,16 @@ def _slave_worker(
     restart of a deterministic failure.
     """
     injector = FaultInjector(fault_plan, slave_id, incarnation)
+    tel = (
+        Telemetry(origin=telemetry_origin) if telemetry_origin is not None else None
+    )
+    actor = f"slave{slave_id}"
     try:
-        generator = SaPairGenerator(gst, psi=config.psi, ranges=ranges)
+        if tel is not None:
+            with tel.span("sort_nodes", actor=actor):
+                generator = SaPairGenerator(gst, psi=config.psi, ranges=ranges)
+        else:
+            generator = SaPairGenerator(gst, psi=config.psi, ranges=ranges)
         aligner = PairAligner(
             gst.collection,
             params=config.scoring,
@@ -119,27 +147,50 @@ def _slave_worker(
             band_policy=config.band_policy,
             use_seed_extension=config.use_seed_extension,
             engine=config.align_engine,
+            telemetry=tel,
         )
         logic = SlaveLogic(
             slave_id=slave_id,
-            generator=OnDemandPairGenerator(generator.pairs()),
+            generator=OnDemandPairGenerator(generator.pairs(), telemetry=tel),
             aligner=aligner,
             batchsize=config.batchsize,
             pairbuf_capacity=config.pairbuf_capacity,
         )
+        t_start = tel.now() if tel is not None else 0.0
         out = logic.bootstrap()
+        if tel is not None:
+            tel.trace.compute(actor, t_start, tel.now(), "bootstrap")
         while True:
             injector.before_send()
+            if tel is not None:
+                tel.trace.send(
+                    actor,
+                    tel.now(),
+                    f"to master: {out.n_results} results, {out.n_pairs} pairs",
+                )
             conn.send(out)
             injector.after_send()
             reply = conn.recv()
+            if tel is not None:
+                t_start = tel.now()
+                tel.trace.recv(actor, t_start, "reply from master")
+                tel.observe(
+                    "slave.pairbuf_depth", len(logic.pairbuf), DEFAULT_BUCKETS
+                )
             out = logic.step(reply)
+            if tel is not None:
+                tel.trace.compute(actor, t_start, tel.now(), "step")
             if out is None:
+                if tel is not None:
+                    tel.trace.send(actor, tel.now(), "final stats")
                 conn.send(
                     _SlaveStats(
                         produced=logic.generator.produced,
                         alignments=logic.total_alignments,
                         dp_cells=logic.total_dp_cells,
+                        events=tuple(tel.trace.events) if tel is not None else (),
+                        span_events=tuple(tel.events) if tel is not None else (),
+                        metrics=tel.registry.snapshot() if tel is not None else None,
                     )
                 )
                 conn.close()
@@ -178,24 +229,31 @@ def cluster_multiprocessing(
     faults: FaultPlan | None = None,
     tolerance: FaultTolerance | None = None,
     trace: TraceRecorder | None = None,
+    telemetry: Telemetry | None = None,
 ) -> ClusteringResult:
     """Cluster with 1 master process + ``n_processors - 1`` slave processes.
 
     ``faults`` injects deterministic failures (testing); ``tolerance``
     sets detection timeouts and the restart budget; ``trace`` (optional)
-    records fault/recovery events with wall-clock offsets.
+    records fault/recovery events with wall-clock offsets; ``telemetry``
+    (optional) records the full instrumented run — phase spans, metrics,
+    and a send/recv/compute/fault timeline assembled from the master's
+    recorder plus the per-slave recorders forwarded over the result pipes
+    — and snapshots it onto ``result.telemetry``.
     """
     if n_processors < 2:
         raise ValueError("the parallel machine needs a master and >= 1 slave")
     config = config or ClusteringConfig()
     tolerance = tolerance or FaultTolerance()
-    timings = TimingBreakdown()
+    tel = telemetry if telemetry is not None else Telemetry(enabled=False)
+    rec = tel.trace if tel.enabled else None
+    timings = TimingBreakdown(registry=tel.registry)
     n_slaves = n_processors - 1
     fault_counters = FaultCounters()
 
-    with timings.measure("gst_construction"):
+    with tel.span("gst_construction", n_ests=collection.n_ests):
         gst = SuffixArrayGst.build(collection)
-    with timings.measure("partitioning"):
+    with tel.span("partitioning"):
         ranges = gst.bucket_ranges(config.w)
         assignment = assign_buckets(ranges, n_slaves)
     ranges_of = [
@@ -224,6 +282,8 @@ def cluster_multiprocessing(
     def record_fault(actor: str, detail: str) -> None:
         if trace is not None:
             trace.fault(actor, time.monotonic() - t0, detail)
+        if rec is not None and rec is not trace:
+            rec.fault(actor, tel.now(), detail)
 
     def spawn(slave_id: int, incarnation: int) -> _SlaveHandle:
         parent_conn, child_conn = ctx.Pipe()
@@ -237,6 +297,7 @@ def cluster_multiprocessing(
                 slave_id,
                 faults,
                 incarnation,
+                tel.origin if tel.enabled else None,
             ),
             daemon=True,
         )
@@ -267,6 +328,8 @@ def cluster_multiprocessing(
             handle.conn.send(reply)
         except _PIPE_ERRORS:
             return False
+        if rec is not None:
+            rec.send("master", tel.now(), f"to slave{handle.slave_id}")
         handle.expecting_since = time.monotonic()
         return True
 
@@ -279,9 +342,18 @@ def cluster_multiprocessing(
                 deaths.add(waiter_id)
 
     def handle_msg(handle: _SlaveHandle, msg, deaths: set[int]) -> None:
+        t_recv = tel.now() if rec is not None else 0.0
+        if rec is not None:
+            rec.recv("master", t_recv, f"from slave{handle.slave_id}")
         if isinstance(msg, _SlaveStats):
             stats[handle.slave_id] = msg
             handle.finished = True
+            if tel.enabled:
+                # The slave's whole recorded run arrives with its final
+                # stats: timeline events, span events, metric snapshot.
+                tel.trace.extend(msg.events)
+                tel.events.extend(msg.span_events)
+                tel.registry.merge_snapshot(msg.metrics)
             return
         if isinstance(msg, _SlaveError):
             fault_counters.slave_errors += 1
@@ -289,6 +361,11 @@ def cluster_multiprocessing(
             raise SlaveFailure(handle.slave_id, msg.traceback)
         handle.expecting_since = None
         reply = master.on_message(msg)
+        if rec is not None:
+            rec.compute(
+                "master", t_recv, tel.now(), f"incorporate slave{handle.slave_id}"
+            )
+        tel.observe("master.workbuf_depth", len(master.workbuf), DEFAULT_BUCKETS)
         if reply is not None:
             if not send_reply(handle, reply):
                 deaths.add(handle.slave_id)
@@ -364,7 +441,7 @@ def cluster_multiprocessing(
             handle.proc.join(timeout=5)
 
     try:
-        with timings.measure("alignment"):
+        with tel.span("alignment"):
             for k in range(n_slaves):
                 live[k] = spawn(k, 0)
 
@@ -456,7 +533,12 @@ def cluster_multiprocessing(
                         use_seed_extension=config.use_seed_extension,
                         engine=config.align_engine,
                     )
+                t_drain = tel.now() if rec is not None else 0.0
                 local_aligned += drain_workbuf(master, local_aligner)
+                if rec is not None:
+                    rec.compute(
+                        "master", t_drain, tel.now(), "degraded: align locally"
+                    )
                 record_fault(
                     "master",
                     f"finished degraded: aligned {local_aligned} pairs locally",
@@ -493,6 +575,15 @@ def cluster_multiprocessing(
         dp_cells=sum(stats.get(k, _ZERO_STATS).dp_cells for k in range(n_slaves))
         + local_dp_cells,
     )
+    snapshot = None
+    if telemetry is not None:
+        tel.record_faults(fault_counters)
+        tel.count("messages.exchanged", master.stats.messages)
+        snapshot = tel.snapshot(
+            engine="multiprocessing",
+            n_processors=n_processors,
+            clock="wall",
+        )
     return ClusteringResult(
         n_ests=collection.n_ests,
         clusters=master.manager.clusters(),
@@ -500,4 +591,5 @@ def cluster_multiprocessing(
         timings=timings,
         merges=list(master.manager.merges),
         faults=fault_counters,
+        telemetry=snapshot,
     )

@@ -25,6 +25,7 @@ from repro.parallel.mp_backend import cluster_multiprocessing
 from repro.parallel.sim_machine import SimulatedMachine, SimulationReport
 from repro.sequence.collection import EstCollection
 from repro.suffix.gst import SuffixArrayGst
+from repro.telemetry import Telemetry
 
 __all__ = ["simulate_clustering", "run_parallel"]
 
@@ -38,12 +39,15 @@ def simulate_clustering(
     gst: SuffixArrayGst | None = None,
     faults: FaultPlan | None = None,
     tolerance: FaultTolerance | None = None,
+    telemetry: Telemetry | None = None,
 ) -> SimulationReport:
     """Run one simulated parallel clustering and return its full report.
 
     ``gst`` may be supplied to share one built index across a parameter
     sweep (construction is deterministic, so this does not change
-    results — only saves host time).
+    results — only saves host time).  ``telemetry`` records the run
+    (virtual-time trace, metrics, phase accounting) onto
+    ``report.result.telemetry``.
     """
     machine = SimulatedMachine(
         collection,
@@ -53,6 +57,7 @@ def simulate_clustering(
         gst=gst,
         faults=faults,
         tolerance=tolerance,
+        telemetry=telemetry,
     )
     return machine.run()
 
@@ -66,9 +71,12 @@ def run_parallel(
     cost_model: CostModel | None = None,
     faults: FaultPlan | None = None,
     tolerance: FaultTolerance | None = None,
+    telemetry: Telemetry | None = None,
 ) -> ClusteringResult:
     """Parallel clustering with either engine, returning the result object
-    (for the simulated engine, timings are virtual seconds)."""
+    (for the simulated engine, timings are virtual seconds).  ``telemetry``
+    instruments the run on either engine with the same span names and
+    event schema (the sim-vs-mp parity tests hold the engines to this)."""
     if machine == "simulated":
         return simulate_clustering(
             collection,
@@ -77,6 +85,7 @@ def run_parallel(
             cost_model=cost_model,
             faults=faults,
             tolerance=tolerance,
+            telemetry=telemetry,
         ).result
     if machine == "multiprocessing":
         return cluster_multiprocessing(
@@ -85,5 +94,6 @@ def run_parallel(
             n_processors=n_processors,
             faults=faults,
             tolerance=tolerance,
+            telemetry=telemetry,
         )
     raise ValueError(f"unknown machine {machine!r} (simulated|multiprocessing)")

@@ -1,102 +1,19 @@
-"""Event tracing for the simulated machine.
+"""Compatibility shim: machine-event tracing moved to
+:mod:`repro.telemetry.trace`.
 
-A :class:`TraceRecorder` passed to :class:`~repro.parallel.sim_machine.
-SimulatedMachine` captures the virtual-time event stream — message sends,
-arrivals, master processing intervals, slave compute intervals — enabling
-both debugging (the causality tests live on this) and the kind of
-utilisation analysis behind the paper's master-busy measurement.
-
-Events are plain records; :func:`render_timeline` pretty-prints a textual
-timeline and :func:`utilisation` computes per-actor busy fractions from
-the recorded intervals (cross-checked against the machine's own
-accounting in the tests).
+The recorder began life simulator-only; it now serves both engines (the
+mp backend forwards slave-side events to the master over the existing
+pipes), so it lives in the engine-neutral telemetry package.  Importing
+from here keeps working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.telemetry.trace import (
+    TraceEvent,
+    TraceRecorder,
+    render_timeline,
+    utilisation,
+)
 
 __all__ = ["TraceEvent", "TraceRecorder", "render_timeline", "utilisation"]
-
-
-@dataclass(frozen=True)
-class TraceEvent:
-    """One trace record.
-
-    ``kind`` ∈ {send, recv, compute, fault}; ``actor`` is "master" or
-    "slave<k>"; ``start``/``end`` delimit the interval (equal for
-    instantaneous events); ``detail`` is a short human label.  ``fault``
-    events record slave crashes and the master's recovery actions
-    (detection, restart, reassignment) in both engines.
-    """
-
-    kind: str
-    actor: str
-    start: float
-    end: float
-    detail: str = ""
-
-    def __post_init__(self) -> None:
-        if self.end < self.start:
-            raise ValueError(f"event ends before it starts: {self}")
-
-
-@dataclass
-class TraceRecorder:
-    """Accumulates trace events during one simulated run."""
-
-    events: list[TraceEvent] = field(default_factory=list)
-
-    def send(self, actor: str, at: float, detail: str = "") -> None:
-        self.events.append(TraceEvent("send", actor, at, at, detail))
-
-    def recv(self, actor: str, at: float, detail: str = "") -> None:
-        self.events.append(TraceEvent("recv", actor, at, at, detail))
-
-    def compute(self, actor: str, start: float, end: float, detail: str = "") -> None:
-        self.events.append(TraceEvent("compute", actor, start, end, detail))
-
-    def fault(self, actor: str, at: float, detail: str = "") -> None:
-        """A crash, detection, restart, or reassignment event."""
-        self.events.append(TraceEvent("fault", actor, at, at, detail))
-
-    # ------------------------------------------------------------------ #
-
-    def faults(self) -> list[TraceEvent]:
-        """The recovery-relevant subset of the event stream."""
-        return [e for e in self.events if e.kind == "fault"]
-
-    def by_actor(self, actor: str) -> list[TraceEvent]:
-        return [e for e in self.events if e.actor == actor]
-
-    def ordered(self) -> list[TraceEvent]:
-        return sorted(self.events, key=lambda e: (e.start, e.end))
-
-    def __len__(self) -> int:
-        return len(self.events)
-
-
-def utilisation(trace: TraceRecorder, total_time: float) -> dict[str, float]:
-    """Busy fraction per actor from its compute intervals."""
-    busy: dict[str, float] = {}
-    for ev in trace.events:
-        if ev.kind == "compute":
-            busy[ev.actor] = busy.get(ev.actor, 0.0) + (ev.end - ev.start)
-    if total_time <= 0:
-        return {actor: 0.0 for actor in busy}
-    return {actor: t / total_time for actor, t in busy.items()}
-
-
-def render_timeline(trace: TraceRecorder, *, max_events: int = 60) -> str:
-    """A textual timeline of the first ``max_events`` events."""
-    lines = [f"{'time':>12s}  {'actor':<10s} {'kind':<8s} detail"]
-    for ev in trace.ordered()[:max_events]:
-        span = (
-            f"{ev.start * 1e3:9.3f}ms"
-            if ev.start == ev.end
-            else f"{ev.start * 1e3:9.3f}ms+{(ev.end - ev.start) * 1e3:.3f}"
-        )
-        lines.append(f"{span:>12s}  {ev.actor:<10s} {ev.kind:<8s} {ev.detail}")
-    if len(trace) > max_events:
-        lines.append(f"... ({len(trace) - max_events} more events)")
-    return "\n".join(lines)

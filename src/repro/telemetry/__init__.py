@@ -1,0 +1,71 @@
+"""Unified telemetry: spans, metrics registry, machine traces, JSONL sinks.
+
+One subsystem instruments the whole pipeline — preprocess → GST
+construction → on-demand pair generation → alignment → cluster merging —
+across all three drivers (sequential, simulated multiprocessor, real
+multiprocessing), replacing the three ad-hoc mechanisms that preceded it
+(``TimingBreakdown`` is now a compatibility shim over the registry, the
+simulator-only trace recorder moved here and gained the mp backend, and
+fault counters are surfaced as ``fault.*`` metrics).
+
+Layering: this package depends only on the standard library, so every
+other layer of the system may import it freely.
+
+Typical use::
+
+    from repro.telemetry import Telemetry, export_jsonl
+
+    tel = Telemetry()
+    result = run_parallel(collection, cfg, n_processors=4,
+                          machine="multiprocessing", telemetry=tel)
+    export_jsonl(result.telemetry, "trace.jsonl")
+
+and ``pace-est report trace.jsonl`` reconstructs the per-phase times
+(Table 3 shape), per-slave utilisation, and master-busy fraction from the
+file alone.
+"""
+
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.sinks import (
+    SCHEMA_VERSION,
+    TABLE3_ORDER,
+    export_jsonl,
+    load_jsonl,
+    snapshot_records,
+    summarise,
+    validate_records,
+)
+from repro.telemetry.spans import Telemetry, TelemetrySnapshot
+from repro.telemetry.trace import (
+    TraceEvent,
+    TraceRecorder,
+    render_timeline,
+    utilisation,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "TraceEvent",
+    "TraceRecorder",
+    "render_timeline",
+    "utilisation",
+    "SCHEMA_VERSION",
+    "TABLE3_ORDER",
+    "snapshot_records",
+    "export_jsonl",
+    "load_jsonl",
+    "validate_records",
+    "summarise",
+]

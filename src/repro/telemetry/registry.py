@@ -1,0 +1,191 @@
+"""The metrics registry: named counters, gauges and fixed-bucket histograms.
+
+This is the bottom layer of the telemetry subsystem — a plain-Python,
+dependency-free store that every instrumentation point writes into.  Three
+instrument kinds cover what the paper measures and what the runtime needs:
+
+- :class:`Counter` — monotonically accumulating floats (phase seconds,
+  pairs produced, alignments accepted, fault events);
+- :class:`Gauge` — last-written values for run-level measurements
+  (virtual total time, load imbalance, master busy time);
+- :class:`Histogram` — fixed upper-bound buckets for distributions
+  (pair batch sizes, alignment band widths, WORKBUF/PAIRBUF depths).
+
+Process safety is by *snapshot merging*, not shared memory: each slave
+process owns a private registry and ships ``snapshot()`` back to the
+master over the existing result pipe; the master folds it in with
+:meth:`MetricsRegistry.merge_snapshot`.  Merging sums counters, sums
+histogram bucket counts (bucket bounds must agree), and keeps the maximum
+for gauges (slave gauges are high-water marks).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: A decade-ish ladder that suits the counts this system distributes
+#: (batch sizes, queue depths, band widths).
+DEFAULT_BUCKETS: tuple[float, ...] = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000)
+
+
+@dataclass
+class Counter:
+    """A named accumulating value; ``inc`` only ever adds."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A named last-written value (merges take the maximum)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram: ``buckets`` are increasing upper bounds.
+
+    A value ``v`` lands in the first bucket whose bound satisfies
+    ``v <= bound``; values above the last bound land in the overflow
+    bucket, so ``counts`` has ``len(buckets) + 1`` entries and no value is
+    ever dropped.
+    """
+
+    name: str
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    count: int = 0
+    sum: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.buckets:
+            raise ValueError(f"histogram {self.name!r} needs at least one bucket")
+        if any(b >= c for b, c in zip(self.buckets, self.buckets[1:])):
+            raise ValueError(
+                f"histogram {self.name!r} buckets must strictly increase: "
+                f"{self.buckets}"
+            )
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create store of named instruments, insertion-ordered."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # ---- get-or-create ------------------------------------------------ #
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] | None = None
+    ) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(
+                name, tuple(buckets) if buckets else DEFAULT_BUCKETS
+            )
+        return h
+
+    # ---- one-line instrumentation APIs -------------------------------- #
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(
+        self, name: str, value: float, buckets: tuple[float, ...] | None = None
+    ) -> None:
+        self.histogram(name, buckets).observe(value)
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        """Counter value by name (the common read path)."""
+        c = self.counters.get(name)
+        return c.value if c is not None else default
+
+    # ---- snapshot / merge --------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        """A JSON-able copy of every instrument."""
+        return {
+            "counters": {n: c.value for n, c in self.counters.items()},
+            "gauges": {n: g.value for n, g in self.gauges.items()},
+            "histograms": {
+                n: {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "sum": h.sum,
+                }
+                for n, h in self.histograms.items()
+            },
+        }
+
+    def merge_snapshot(self, snap: dict | None) -> None:
+        """Fold another registry's snapshot into this one (slave → master).
+
+        Counters and histogram bucket counts add; gauges keep the max.
+        """
+        if not snap:
+            return
+        for name, value in snap.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in snap.get("gauges", {}).items():
+            g = self.gauge(name)
+            g.set(max(g.value, value))
+        for name, rec in snap.get("histograms", {}).items():
+            h = self.histogram(name, tuple(rec["buckets"]))
+            if list(h.buckets) != list(rec["buckets"]):
+                raise ValueError(
+                    f"histogram {name!r} bucket mismatch: "
+                    f"{list(h.buckets)} vs {rec['buckets']}"
+                )
+            for i, c in enumerate(rec["counts"]):
+                h.counts[i] += c
+            h.count += rec["count"]
+            h.sum += rec["sum"]

@@ -1,0 +1,309 @@
+"""Telemetry sinks: JSONL export, schema validation, and the human report.
+
+The on-disk form is JSON Lines — one record per line, first line a
+``meta`` record — so traces stream, concatenate, and grep well.  Record
+kinds (the full schema is documented in DESIGN.md §5b):
+
+- ``meta`` — run identity: schema version, engine, processor count,
+  clock domain ("wall" or "virtual"), total run time;
+- ``span_start`` / ``span_end`` — phase-scoped spans with nesting
+  (``id``/``parent``) and, on end, the measured ``duration``;
+- ``trace`` — machine events (``event`` ∈ send/recv/compute/fault) with
+  ``ts``/``end`` interval bounds and the owning ``actor``;
+- ``metric`` — final instrument values (``metric`` ∈
+  counter/gauge/histogram).
+
+:func:`validate_records` is the schema check the CI smoke job and the
+round-trip tests run; :func:`summarise` reconstructs the paper-shaped
+measurements from a record stream alone — per-phase times (Table 3
+columns), per-actor utilisation and the master-busy fraction (Figure 8's
+measurement), pair-flow counters, histograms, and fault accounting —
+which is what ``pace-est report`` prints.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable
+
+from repro.telemetry.spans import SPAN_PREFIX, SPAN_SUFFIX, TelemetrySnapshot
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TABLE3_ORDER",
+    "snapshot_records",
+    "export_jsonl",
+    "load_jsonl",
+    "validate_records",
+    "summarise",
+]
+
+SCHEMA_VERSION = "repro-telemetry/1"
+
+#: The paper's Table 3 component columns, in presentation order.  (Kept
+#: in sync with ``repro.core.results.COMPONENT_ORDER``; duplicated here so
+#: the telemetry layer stays importable without the clustering stack.)
+TABLE3_ORDER = ("partitioning", "gst_construction", "sort_nodes", "alignment")
+
+_EVENT_KINDS = frozenset({"span_start", "span_end", "trace"})
+_TRACE_EVENTS = frozenset({"send", "recv", "compute", "fault"})
+_METRIC_KINDS = frozenset({"counter", "gauge", "histogram"})
+
+
+# --------------------------------------------------------------------- #
+# export / load
+# --------------------------------------------------------------------- #
+
+
+def snapshot_records(snapshot: TelemetrySnapshot) -> list[dict]:
+    """The full JSONL record sequence for one snapshot."""
+    records: list[dict] = [
+        {"kind": "meta", "schema": SCHEMA_VERSION, **snapshot.meta}
+    ]
+    records.extend(snapshot.events)
+    metrics = snapshot.metrics
+    for name, value in metrics.get("counters", {}).items():
+        records.append(
+            {"kind": "metric", "metric": "counter", "name": name, "value": value}
+        )
+    for name, value in metrics.get("gauges", {}).items():
+        records.append(
+            {"kind": "metric", "metric": "gauge", "name": name, "value": value}
+        )
+    for name, rec in metrics.get("histograms", {}).items():
+        records.append(
+            {
+                "kind": "metric",
+                "metric": "histogram",
+                "name": name,
+                "buckets": rec["buckets"],
+                "counts": rec["counts"],
+                "count": rec["count"],
+                "sum": rec["sum"],
+            }
+        )
+    return records
+
+
+def export_jsonl(snapshot: TelemetrySnapshot, path: Path | str | IO[str]) -> int:
+    """Write one snapshot as JSONL; returns the number of records."""
+    records = snapshot_records(snapshot)
+    text = "\n".join(json.dumps(r, sort_keys=False) for r in records) + "\n"
+    if hasattr(path, "write"):
+        path.write(text)
+    else:
+        Path(path).write_text(text)
+    return len(records)
+
+
+def load_jsonl(path: Path | str) -> list[dict]:
+    """Parse a JSONL trace back into records (syntax errors raise with
+    the offending line number)."""
+    records: list[dict] = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+    return records
+
+
+# --------------------------------------------------------------------- #
+# validation
+# --------------------------------------------------------------------- #
+
+
+def validate_records(records: Iterable[dict]) -> list[str]:
+    """Schema-check a record stream; returns a list of problems (empty
+    means valid).  This is what the CI smoke job runs on exported traces."""
+    problems: list[str] = []
+    records = list(records)
+    if not records:
+        return ["empty trace: no records"]
+    head = records[0]
+    if head.get("kind") != "meta":
+        problems.append(f"record 0: expected a meta record, got {head.get('kind')!r}")
+    elif head.get("schema") != SCHEMA_VERSION:
+        problems.append(
+            f"record 0: unknown schema {head.get('schema')!r} "
+            f"(expected {SCHEMA_VERSION!r})"
+        )
+    last_ts = None
+    for i, rec in enumerate(records[1:], 1):
+        kind = rec.get("kind")
+        if kind == "meta":
+            problems.append(f"record {i}: duplicate meta record")
+        elif kind in _EVENT_KINDS:
+            ts = rec.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"record {i}: bad ts {ts!r}")
+                continue
+            if last_ts is not None and ts < last_ts - 1e-9:
+                problems.append(
+                    f"record {i}: timestamps not monotone ({ts} after {last_ts})"
+                )
+            last_ts = ts
+            if kind == "trace":
+                if rec.get("event") not in _TRACE_EVENTS:
+                    problems.append(
+                        f"record {i}: unknown trace event {rec.get('event')!r}"
+                    )
+                if rec.get("end", ts) < ts:
+                    problems.append(f"record {i}: interval ends before it starts")
+                if not rec.get("actor"):
+                    problems.append(f"record {i}: trace event without actor")
+            else:
+                if not rec.get("name"):
+                    problems.append(f"record {i}: span without a name")
+                if kind == "span_end" and rec.get("duration", 0.0) < 0:
+                    problems.append(f"record {i}: negative span duration")
+        elif kind == "metric":
+            if rec.get("metric") not in _METRIC_KINDS:
+                problems.append(f"record {i}: unknown metric kind {rec.get('metric')!r}")
+            elif not rec.get("name"):
+                problems.append(f"record {i}: metric without a name")
+            elif rec["metric"] == "histogram":
+                buckets, counts = rec.get("buckets", []), rec.get("counts", [])
+                if len(counts) != len(buckets) + 1:
+                    problems.append(
+                        f"record {i}: histogram {rec['name']!r} needs "
+                        f"len(buckets)+1 counts, got {len(counts)}"
+                    )
+                elif sum(counts) != rec.get("count"):
+                    problems.append(
+                        f"record {i}: histogram {rec['name']!r} counts sum to "
+                        f"{sum(counts)}, not count={rec.get('count')}"
+                    )
+        else:
+            problems.append(f"record {i}: unknown record kind {kind!r}")
+    # Span start/end pairing by id.
+    started = {r["id"] for r in records if r.get("kind") == "span_start"}
+    ended = {r["id"] for r in records if r.get("kind") == "span_end"}
+    for sid in sorted(started ^ ended):
+        problems.append(f"span id {sid}: unmatched start/end")
+    return problems
+
+
+# --------------------------------------------------------------------- #
+# the human report
+# --------------------------------------------------------------------- #
+
+
+def _phase_times(records: list[dict]) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for rec in records:
+        if rec.get("kind") == "metric" and rec.get("metric") == "counter":
+            name = rec["name"]
+            if name.startswith(SPAN_PREFIX) and name.endswith(SPAN_SUFFIX):
+                out[name[len(SPAN_PREFIX) : -len(SPAN_SUFFIX)]] = rec["value"]
+    return out
+
+
+def _busy_times(records: list[dict]) -> dict[str, float]:
+    busy: dict[str, float] = {}
+    for rec in records:
+        if rec.get("kind") == "trace" and rec.get("event") == "compute":
+            busy[rec["actor"]] = busy.get(rec["actor"], 0.0) + (
+                rec.get("end", rec["ts"]) - rec["ts"]
+            )
+    return busy
+
+
+def summarise(records: list[dict]) -> str:
+    """Reconstruct the paper-shaped measurements from a record stream."""
+    meta = records[0] if records and records[0].get("kind") == "meta" else {}
+    total = float(meta.get("total_time", 0.0))
+    unit = "virtual s" if meta.get("clock") == "virtual" else "s"
+    lines: list[str] = []
+    lines.append(
+        f"run: engine={meta.get('engine', '?')} "
+        f"processors={meta.get('n_processors', 1)} clock={meta.get('clock', '?')} "
+        f"total={total:.4f} {unit}"
+    )
+
+    phases = _phase_times(records)
+    if phases:
+        lines.append("")
+        lines.append(f"per-phase times (Table 3 components, {unit}):")
+        ordered = [n for n in TABLE3_ORDER if n in phases]
+        ordered += [n for n in phases if n not in TABLE3_ORDER]
+        width = max(len(n) for n in ordered)
+        for name in ordered:
+            lines.append(f"  {name:<{width}s}  {phases[name]:10.4f}")
+        lines.append(f"  {'total':<{width}s}  {sum(phases.values()):10.4f}")
+
+    busy = _busy_times(records)
+    if busy:
+        lines.append("")
+        lines.append("per-actor utilisation (busy fraction of total time):")
+        for actor in sorted(busy, key=lambda a: (a != "master", a)):
+            frac = busy[actor] / total if total > 0 else 0.0
+            lines.append(f"  {actor:<10s}  {busy[actor]:10.4f} {unit}  {frac * 100:6.2f}%")
+        if "master" in busy:
+            frac = busy["master"] / total if total > 0 else 0.0
+            lines.append(f"master busy fraction: {frac * 100:.2f}% (Fig. 8 measurement)")
+
+    counters = {
+        r["name"]: r["value"]
+        for r in records
+        if r.get("kind") == "metric"
+        and r.get("metric") == "counter"
+        and not r["name"].startswith(SPAN_PREFIX)
+        and not r["name"].startswith("fault.")
+    }
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        for name in counters:
+            value = counters[name]
+            shown = f"{value:.4f}" if value != int(value) else f"{int(value)}"
+            lines.append(f"  {name} = {shown}")
+    gauges = {
+        r["name"]: r["value"]
+        for r in records
+        if r.get("kind") == "metric" and r.get("metric") == "gauge"
+    }
+    if gauges:
+        lines.append("")
+        lines.append("gauges:")
+        for name, value in gauges.items():
+            lines.append(f"  {name} = {value:.6g}")
+
+    hists = [
+        r
+        for r in records
+        if r.get("kind") == "metric" and r.get("metric") == "histogram"
+    ]
+    for h in hists:
+        lines.append("")
+        mean = h["sum"] / h["count"] if h["count"] else 0.0
+        lines.append(f"histogram {h['name']} (n={h['count']}, mean={mean:.2f}):")
+        edges = ["<=%g" % b for b in h["buckets"]] + [">%g" % h["buckets"][-1]]
+        for edge, count in zip(edges, h["counts"]):
+            if count:
+                lines.append(f"  {edge:>10s}  {count}")
+
+    fault_counters = {
+        r["name"][len("fault.") :]: r["value"]
+        for r in records
+        if r.get("kind") == "metric"
+        and r.get("metric") == "counter"
+        and r["name"].startswith("fault.")
+    }
+    fault_events = [
+        r for r in records if r.get("kind") == "trace" and r.get("event") == "fault"
+    ]
+    if fault_counters or fault_events:
+        lines.append("")
+        lines.append("faults:")
+        for name, value in fault_counters.items():
+            lines.append(f"  {name} = {int(value)}")
+        for rec in fault_events:
+            lines.append(
+                f"  [{rec['ts']:10.4f}] {rec['actor']}: {rec.get('detail', '')}"
+            )
+    return "\n".join(lines)

@@ -95,3 +95,32 @@ class TestRendering:
 
     def test_empty_timeline(self):
         assert "actor" in render_timeline(TraceRecorder())
+
+
+class TestDegenerateInputs:
+    def test_utilisation_empty_trace(self):
+        assert utilisation(TraceRecorder(), 10.0) == {}
+
+    def test_utilisation_zero_total_time(self):
+        """A trivial run (total_time == 0) yields zero fractions, never a
+        ZeroDivisionError."""
+        tr = TraceRecorder()
+        tr.compute("master", 0.0, 0.0, "noop")
+        tr.compute("slave0", 0.0, 0.0, "noop")
+        assert utilisation(tr, 0.0) == {"master": 0.0, "slave0": 0.0}
+        assert utilisation(tr, -1.0) == {"master": 0.0, "slave0": 0.0}
+
+    def test_total_span(self):
+        tr = TraceRecorder()
+        assert tr.total_span() == 0.0
+        tr.compute("master", 1.0, 4.0)
+        tr.send("master", 2.0)
+        assert tr.total_span() == 4.0
+
+    def test_extend_absorbs_foreign_events(self):
+        tr = TraceRecorder()
+        tr.send("master", 1.0)
+        other = [TraceEvent("recv", "slave0", 2.0, 2.0)]
+        tr.extend(other)
+        assert len(tr) == 2
+        assert [e.actor for e in tr.ordered()] == ["master", "slave0"]

@@ -97,7 +97,21 @@ class TestTimingBreakdown:
         tb = TimingBreakdown()
         tb.add("x", 1.0)
         tb.add("y", 2.0)
-        assert tb.as_row(["y", "x", "z"]) == [2.0, 1.0, 0.0, 3.0]
+        assert tb.as_row(["y", "x"]) == [2.0, 1.0, 3.0]
+
+    def test_as_row_unknown_component_raises(self):
+        """A misspelt component name must not silently render as 0.0."""
+        tb = TimingBreakdown()
+        tb.add("x", 1.0)
+        with pytest.raises(KeyError, match="unknown timing component"):
+            tb.as_row(["x", "z"])
+
+    def test_as_row_explicit_zero_fill(self):
+        tb = TimingBreakdown()
+        tb.add("x", 1.0)
+        assert tb.as_row(["x", "z"], missing="zero") == [1.0, 0.0, 1.0]
+        with pytest.raises(ValueError):
+            tb.as_row(["x"], missing="maybe")
 
     def test_merge(self):
         a = TimingBreakdown()
