@@ -96,7 +96,7 @@ def _fmt(v) -> str:
 
 
 def save_table(name: str, lines: list[str]) -> None:
-    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text("\n".join(lines) + "\n")
 
 
@@ -107,5 +107,5 @@ def save_telemetry(name: str, snapshot) -> None:
     ``pace-est report`` summarises bench runs too."""
     from repro.telemetry import export_jsonl
 
-    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     export_jsonl(snapshot, RESULTS_DIR / f"{name}.jsonl")

@@ -12,7 +12,13 @@ import numpy as np
 import pytest
 
 from _common import bench_config, dataset, dataset_gst
-from repro.align import ScoringParams, extend_overlap, overlap_align
+from repro.align import (
+    BatchPairAligner,
+    PairAligner,
+    ScoringParams,
+    extend_overlap,
+    overlap_align,
+)
 from repro.cluster import UnionFind
 from repro.pairs import SaPairGenerator
 from repro.suffix import build_suffix_array
@@ -27,6 +33,20 @@ def medium():
 @pytest.fixture(scope="module")
 def medium_text(medium):
     return medium.collection.sa_text()[0]
+
+
+@pytest.fixture(scope="module")
+def promising_pairs(medium):
+    """A fixed slice of the 30k dataset's promising-pair stream — the
+    shared workload of the per-pair vs batched alignment benches."""
+    gst = dataset_gst(30_000)
+    gen = SaPairGenerator(gst, psi=bench_config().psi)
+    pairs = []
+    for pair in gen.pairs():
+        pairs.append(pair)
+        if len(pairs) >= 1000:
+            break
+    return pairs
 
 
 def test_suffix_array_construction(benchmark, medium_text):
@@ -77,6 +97,29 @@ def test_full_overlap_alignment(benchmark):
         overlap_align, args=(x, y, ScoringParams()), rounds=1, iterations=1
     )
     assert res.overlap_len >= 140
+
+
+def test_alignment_per_pair(benchmark, medium, promising_pairs):
+    col = medium.collection
+
+    def run():
+        return PairAligner(col).align_and_decide_batch(promising_pairs)
+
+    out = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(out) == len(promising_pairs)
+
+
+def test_alignment_batched(benchmark, medium, promising_pairs):
+    col = medium.collection
+
+    def run():
+        return BatchPairAligner(col, group_size=64).align_and_decide_batch(
+            promising_pairs
+        )
+
+    out = benchmark.pedantic(run, rounds=3, iterations=1)
+    # The batched engine must be a pure perf layer: identical decisions.
+    assert out == PairAligner(col).align_and_decide_batch(promising_pairs)
 
 
 def test_union_find_throughput(benchmark):

@@ -4,15 +4,118 @@ Each bench regenerates one of the paper's tables/figures and registers the
 rendered table with the ``paper_table`` fixture; the tables are then
 printed in the terminal summary (so they survive pytest's output capture
 and land in ``bench_output.txt``) and written to ``benchmarks/results/``.
+
+This conftest also implements the perf-regression gate CI runs on
+``bench_micro``:
+
+- ``--bench-save PATH`` writes the run's per-test median timings as JSON;
+- ``--bench-compare PATH`` reads a previously saved baseline and fails the
+  run when any shared benchmark's median slowed down by more than
+  ``--bench-fail-ratio`` (default 1.5×).
+
+Run it locally with::
+
+    python -m pytest benchmarks/bench_micro.py --bench-compare BENCH_micro.json
 """
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
 
 import pytest
 
 from _common import save_table
 
 _TABLES: list[tuple[str, list[str]]] = []
+
+BASELINE_SCHEMA = "pace-bench-baseline/1"
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("perf-gate", "benchmark regression gate")
+    group.addoption(
+        "--bench-save",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write this run's median benchmark timings as a baseline JSON",
+    )
+    group.addoption(
+        "--bench-compare",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="compare median timings against a baseline JSON and fail the "
+             "run on regressions",
+    )
+    group.addoption(
+        "--bench-fail-ratio",
+        type=float,
+        default=1.5,
+        metavar="R",
+        help="fail when current_median / baseline_median exceeds R "
+             "(default 1.5)",
+    )
+
+
+def _collect_medians(config) -> dict[str, float]:
+    """Per-test median seconds from the pytest-benchmark session."""
+    session = getattr(config, "_benchmarksession", None)
+    if session is None:
+        return {}
+    out: dict[str, float] = {}
+    for bench in session.benchmarks:
+        stats = getattr(bench, "stats", None)
+        median = getattr(getattr(stats, "stats", stats), "median", None)
+        if median is not None:
+            out[bench.name] = float(median)
+    return out
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_sessionfinish(session, exitstatus):
+    config = session.config
+    save = config.getoption("--bench-save")
+    compare = config.getoption("--bench-compare")
+    if save is None and compare is None:
+        return
+    medians = _collect_medians(config)
+
+    if compare is not None:
+        baseline = json.loads(Path(compare).read_text())
+        if baseline.get("schema") != BASELINE_SCHEMA:
+            raise pytest.UsageError(
+                f"{compare}: not a {BASELINE_SCHEMA} baseline"
+            )
+        ratio = config.getoption("--bench-fail-ratio")
+        lines = [f"perf gate vs {compare} (fail ratio {ratio:.2f}x):"]
+        regressions = 0
+        for name, base in baseline["medians"].items():
+            current = medians.get(name)
+            if current is None:
+                lines.append(f"  {name}: SKIPPED (not run)")
+                continue
+            rel = current / base if base > 0 else float("inf")
+            verdict = "ok"
+            if rel > ratio:
+                verdict = "REGRESSION"
+                regressions += 1
+            lines.append(
+                f"  {name}: {base * 1e3:.2f}ms -> {current * 1e3:.2f}ms "
+                f"({rel:.2f}x) {verdict}"
+            )
+        print("\n" + "\n".join(lines))
+        if regressions and session.exitstatus == 0:
+            print(f"perf gate FAILED: {regressions} regression(s)")
+            session.exitstatus = 1
+
+    if save is not None:
+        save.write_text(
+            json.dumps({"schema": BASELINE_SCHEMA, "medians": medians}, indent=2)
+            + "\n"
+        )
+        print(f"\nwrote benchmark baseline ({len(medians)} medians) to {save}")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,105 @@
+"""Alignment-engine perf gate: per-pair vs batched on the 30k dataset.
+
+Measures the wall time of aligning a fixed slice of the 30k-scaled
+dataset's promising-pair stream with the per-pair reference engine and the
+batched engine, verifies the batched decisions are identical (the oracle
+property), and writes the numbers as JSON.  Exits non-zero when the
+speedup falls below ``--min-speedup`` — CI runs this to keep the batched
+engine's advantage locked in, and the committed ``BENCH_align.json`` at
+the repo root records the reference measurement.
+
+Usage::
+
+    python benchmarks/perf_gate.py --out BENCH_align.json --min-speedup 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from _common import bench_config, dataset, dataset_gst
+from repro.align import BatchPairAligner, PairAligner
+from repro.pairs import SaPairGenerator
+
+SCHEMA = "pace-align-gate/1"
+
+
+def _measure(make_run, rounds: int) -> tuple[float, object]:
+    """Best-of-``rounds`` wall time (and the last run's output)."""
+    best = float("inf")
+    out = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        out = make_run()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the measurement JSON here")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="fail when batched speedup is below this "
+                             "(default 2.0)")
+    parser.add_argument("--pairs", type=int, default=1000,
+                        help="promising pairs to align (default 1000)")
+    parser.add_argument("--group-size", type=int, default=64,
+                        help="batched engine DP group size (default 64)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timing rounds, best-of (default 3)")
+    args = parser.parse_args(argv)
+
+    col = dataset(30_000).collection
+    gst = dataset_gst(30_000)
+    pairs = []
+    for pair in SaPairGenerator(gst, psi=bench_config().psi).pairs():
+        pairs.append(pair)
+        if len(pairs) >= args.pairs:
+            break
+
+    t_ref, ref_out = _measure(
+        lambda: PairAligner(col).align_and_decide_batch(pairs), args.rounds
+    )
+    t_bat, bat_out = _measure(
+        lambda: BatchPairAligner(
+            col, group_size=args.group_size
+        ).align_and_decide_batch(pairs),
+        args.rounds,
+    )
+    if bat_out != ref_out:
+        print("FAIL: batched results differ from the per-pair oracle",
+              file=sys.stderr)
+        return 2
+
+    speedup = t_ref / t_bat if t_bat > 0 else float("inf")
+    record = {
+        "schema": SCHEMA,
+        "dataset": 30_000,
+        "n_pairs": len(pairs),
+        "group_size": args.group_size,
+        "per_pair_seconds": round(t_ref, 4),
+        "batched_seconds": round(t_bat, 4),
+        "speedup": round(speedup, 2),
+        "min_speedup": args.min_speedup,
+    }
+    print(json.dumps(record, indent=2))
+    if args.out is not None:
+        args.out.write_text(json.dumps(record, indent=2) + "\n")
+    if speedup < args.min_speedup:
+        print(
+            f"perf gate FAILED: batched speedup {speedup:.2f}x < "
+            f"{args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"perf gate passed: batched alignment {speedup:.2f}x faster")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

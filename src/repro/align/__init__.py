@@ -2,7 +2,13 @@
 (Fig. 5a), full-DP reference engines, and overlap-pattern classification
 (Fig. 5b)."""
 
-from repro.align.banded import ExtensionResult, extend_overlap
+from repro.align.banded import (
+    BandedWorkspace,
+    ExtensionResult,
+    extend_overlap,
+    extend_overlap_group,
+)
+from repro.align.batch import BatchPairAligner, make_aligner
 from repro.align.extend import BandPolicy, PairAligner
 from repro.align.full_dp import extend_overlap_ref, global_align_score, overlap_align
 from repro.align.kdiff import kdiff_extend, score_ops
@@ -15,8 +21,12 @@ from repro.align.scoring import (
 )
 
 __all__ = [
+    "BandedWorkspace",
     "ExtensionResult",
     "extend_overlap",
+    "extend_overlap_group",
+    "BatchPairAligner",
+    "make_aligner",
     "BandPolicy",
     "PairAligner",
     "extend_overlap_ref",

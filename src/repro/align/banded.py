@@ -21,11 +21,19 @@ implementation pays and the measure the banding ablation sweeps.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.align.scoring import ScoringParams
 
-__all__ = ["extend_overlap", "ExtensionResult", "NEG_INF"]
+__all__ = [
+    "extend_overlap",
+    "extend_overlap_group",
+    "BandedWorkspace",
+    "ExtensionResult",
+    "NEG_INF",
+]
 
 NEG_INF = -1.0e18
 
@@ -142,3 +150,239 @@ def _apply_band(m_row, ix_row, iy_row, i: int, band: int, ly: int) -> None:
         m_row[hi + 1 :] = NEG_INF
         ix_row[hi + 1 :] = NEG_INF
         iy_row[hi + 1 :] = NEG_INF
+
+
+# --------------------------------------------------------------------------- #
+# batched group kernel
+# --------------------------------------------------------------------------- #
+
+
+class BandedWorkspace:
+    """Grow-only scratch buffers shared across :func:`extend_overlap_group`
+    calls.
+
+    A batch aligner runs the group kernel thousands of times per clustering;
+    each call needs six DP state rows plus padding/scratch planes sized to
+    the group.  The workspace allocates once at the high-water mark and hands
+    out views, so steady-state groups touch no allocator at all.  ``reuses``
+    and ``grows`` feed the ``align.buffer_reuse`` telemetry counter.
+    """
+
+    def __init__(self) -> None:
+        self._g = 0
+        self._lx = 0
+        self._w = 0
+        self._rows: np.ndarray | None = None  # (6, g, w) float64 DP states
+        self._scratch: np.ndarray | None = None  # (4, g, w) float64
+        self._outb: np.ndarray | None = None  # (g, w) bool band mask
+        self._eq: np.ndarray | None = None  # (g, w) bool char equality
+        self._xpad: np.ndarray | None = None  # (g, lx) int8
+        self._ypad: np.ndarray | None = None  # (g, w) int8
+        #: Calls served without reallocating / calls that had to grow.
+        self.reuses = 0
+        self.grows = 0
+
+    def acquire(self, g: int, max_lx: int, max_ly: int) -> bool:
+        """Ensure capacity for a (g, max_lx, max_ly) group.
+
+        Returns True when the existing buffers were large enough (a reuse),
+        False when they had to grow.
+        """
+        w = max_ly + 1
+        if self._rows is None or g > self._g or max_lx > self._lx or w > self._w:
+            self._g = max(g, self._g)
+            self._lx = max(max_lx, self._lx)
+            self._w = max(w, self._w)
+            self._rows = np.empty((6, self._g, self._w))
+            self._scratch = np.empty((4, self._g, self._w))
+            self._outb = np.empty((self._g, self._w), dtype=bool)
+            self._eq = np.empty((self._g, self._w), dtype=bool)
+            self._xpad = np.empty((self._g, self._lx), dtype=np.int8)
+            self._ypad = np.empty((self._g, self._w), dtype=np.int8)
+            self.grows += 1
+            return False
+        self.reuses += 1
+        return True
+
+
+def extend_overlap_group(
+    xs: Sequence[np.ndarray],
+    ys: Sequence[np.ndarray],
+    bands: np.ndarray,
+    params: ScoringParams,
+    *,
+    workspace: BandedWorkspace | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised :func:`extend_overlap` over a group of extensions.
+
+    Runs the identical recurrence for all group members at once, one 2-D
+    numpy sweep per DP row: member ``g`` occupies plane row ``g``, padded to
+    the group maxima with sentinels (``-1`` in x, ``-2`` in y) that never
+    match each other or a real nucleotide code, so padded columns score as
+    mismatches and — because information only flows rightwards/downwards in
+    the recurrence — never contaminate a real cell.  Every floating-point
+    operation is performed in the same order per cell as the scalar kernel,
+    so results are bit-identical (the batch aligner's oracle property).
+
+    All ``xs[k]``/``ys[k]`` must be non-empty (callers shortcut empty
+    extensions to ``ExtensionResult(0.0, 0, 0, 0)`` like the scalar path).
+
+    Returns ``(score, consumed_x, consumed_y, dp_cells)`` arrays of length
+    ``len(xs)``.
+    """
+    g = len(xs)
+    if g != len(ys) or g != len(bands):
+        raise ValueError(
+            f"group size mismatch: {g} xs, {len(ys)} ys, {len(bands)} bands"
+        )
+    if g == 0:
+        empty_f = np.empty(0)
+        empty_i = np.empty(0, dtype=np.int64)
+        return empty_f, empty_i, empty_i.copy(), empty_i.copy()
+    bands = np.asarray(bands, dtype=np.int64)
+    if bands.min() < 0:
+        raise ValueError("band must be >= 0 for every group member")
+    lxs = np.fromiter((len(x) for x in xs), dtype=np.int64, count=g)
+    lys = np.fromiter((len(y) for y in ys), dtype=np.int64, count=g)
+    if lxs.min() == 0 or lys.min() == 0:
+        raise ValueError("empty extensions must be filtered before grouping")
+    max_lx = int(lxs.max())
+    max_ly = int(lys.max())
+    w = max_ly + 1
+
+    ws = workspace if workspace is not None else BandedWorkspace()
+    ws.acquire(g, max_lx, max_ly)
+
+    xpad = ws._xpad[:g, :max_lx]
+    xpad.fill(-1)
+    ypad = ws._ypad[:g, :max_ly]
+    ypad.fill(-2)
+    for k in range(g):
+        xpad[k, : lxs[k]] = xs[k]
+        ypad[k, : lys[k]] = ys[k]
+
+    match, mis = params.match, params.mismatch
+    go, ge = params.gap_open, params.gap_extend
+    js = np.arange(w, dtype=np.int64)
+    jge = js * ge  # the scalar kernel's ``js * ge`` term
+    jgo = go + (js[1:] - 1) * ge  # its ``go + (js[1:] - 1) * ge`` term
+
+    m_row = ws._rows[0, :g, :w]
+    ix_row = ws._rows[1, :g, :w]
+    iy_row = ws._rows[2, :g, :w]
+    new_m = ws._rows[3, :g, :w]
+    new_ix = ws._rows[4, :g, :w]
+    new_iy = ws._rows[5, :g, :w]
+    pb = ws._scratch[0, :g, :w]
+    tmp = ws._scratch[1, :g, :w]
+    run = ws._scratch[2, :g, :w]
+    sub = ws._scratch[3, :g, :max_ly]
+    outb = ws._outb[:g, :w]
+    eq = ws._eq[:g, :max_ly]
+
+    def band_mask(i: int) -> None:
+        np.greater(np.abs(i - js)[None, :], bands[:, None], out=outb)
+
+    # Row 0: only leading gaps in x (consuming y) are possible.
+    m_row.fill(NEG_INF)
+    ix_row.fill(NEG_INF)
+    iy_row.fill(NEG_INF)
+    m_row[:, 0] = 0.0
+    iy_row[:, 1:] = jgo
+    band_mask(0)
+    np.copyto(m_row, NEG_INF, where=outb)
+    np.copyto(iy_row, NEG_INF, where=outb)
+
+    ar = np.arange(g)
+    best = np.full(g, NEG_INF)
+    best_i = np.zeros(g, dtype=np.int64)
+    best_j = np.zeros(g, dtype=np.int64)
+
+    def column_candidates(i: int) -> None:
+        # The scalar kernel's per-row last-column (j = ly) check, with the
+        # same strict-> update so tie-breaks resolve identically.
+        sel = (lxs >= i) & (np.abs(i - lys) <= bands)
+        if not sel.any():
+            return
+        col = np.maximum(
+            np.maximum(m_row[ar, lys], ix_row[ar, lys]), iy_row[ar, lys]
+        )
+        upd = sel & (col > best)
+        best[upd] = col[upd]
+        best_i[upd] = i
+        best_j[upd] = lys[upd]
+
+    def final_row_candidates(i: int) -> None:
+        # The scalar kernel's after-loop full-row argmax, run for exactly
+        # the members whose x drains at row i, after that row's column
+        # candidate (matching the scalar check order).
+        idx = np.nonzero(lxs == i)[0]
+        if idx.size == 0:
+            return
+        fin = np.maximum(np.maximum(m_row[idx], ix_row[idx]), iy_row[idx])
+        np.copyto(fin, NEG_INF, where=js[None, :] > lys[idx, None])
+        jb = np.argmax(fin, axis=1)
+        cand = fin[np.arange(idx.size), jb]
+        upd = cand > best[idx]
+        uidx = idx[upd]
+        best[uidx] = cand[upd]
+        best_i[uidx] = i
+        best_j[uidx] = jb[upd]
+
+    column_candidates(0)
+
+    for i in range(1, max_lx + 1):
+        np.equal(xpad[:, i - 1 : i], ypad, out=eq)
+        sub.fill(mis)
+        np.copyto(sub, match, where=eq)
+        np.maximum(m_row, ix_row, out=pb)
+        np.maximum(pb, iy_row, out=pb)
+        new_m.fill(NEG_INF)
+        np.add(pb[:, :-1], sub, out=new_m[:, 1:])
+        np.maximum(m_row, iy_row, out=tmp)
+        tmp += go
+        np.add(ix_row, ge, out=new_ix)
+        np.maximum(new_ix, tmp, out=new_ix)
+        # Band mask before the horizontal scan so out-of-band cells cannot
+        # feed in-band gap runs (new_iy is all -inf at this point).
+        band_mask(i)
+        np.copyto(new_m, NEG_INF, where=outb)
+        np.copyto(new_ix, NEG_INF, where=outb)
+        np.maximum(new_m, new_ix, out=run)
+        run -= jge
+        np.maximum.accumulate(run, axis=1, out=run)
+        new_iy.fill(NEG_INF)
+        np.add(jgo, run[:, :-1], out=new_iy[:, 1:])
+        np.copyto(new_iy, NEG_INF, where=outb)
+
+        m_row, new_m = new_m, m_row
+        ix_row, new_ix = new_ix, ix_row
+        iy_row, new_iy = new_iy, iy_row
+
+        column_candidates(i)
+        final_row_candidates(i)
+
+    # A band narrower than |lx - ly| excludes every valid end; mirror the
+    # scalar kernel's pessimistic pure-gap fallback.
+    bad = best <= NEG_INF / 2
+    if bad.any():
+        use_x = bad & (lxs <= lys)
+        best[use_x] = go + (lxs[use_x] - 1) * ge
+        best_i[use_x] = lxs[use_x]
+        best_j[use_x] = 0
+        use_y = bad & (lxs > lys)
+        best[use_y] = go + (lys[use_y] - 1) * ge
+        best_i[use_y] = 0
+        best_j[use_y] = lys[use_y]
+
+    # In-band cell counts, closed form over the (member, row) grid.
+    rows = np.arange(1, max_lx + 1, dtype=np.int64)
+    lo = rows[None, :] - bands[:, None]
+    np.maximum(lo, 0, out=lo)
+    hi = np.minimum(lys[:, None], rows[None, :] + bands[:, None])
+    width = hi - lo + 1
+    np.maximum(width, 0, out=width)
+    width[rows[None, :] > lxs[:, None]] = 0
+    dp_cells = width.sum(axis=1) + np.minimum(lys, bands) + 1
+
+    return best, best_i, best_j, dp_cells

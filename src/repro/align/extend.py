@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
@@ -139,6 +140,13 @@ class PairAligner:
                 "align.accepted" if accepted else "align.rejected"
             )
         return result, accepted
+
+    def align_and_decide_batch(
+        self, pairs: Iterable[Pair]
+    ) -> list[tuple[AlignmentResult, bool]]:
+        """Align a whole batch of pairs.  The reference engine loops;
+        :class:`repro.align.batch.BatchPairAligner` vectorises."""
+        return [self.align_and_decide(pair) for pair in pairs]
 
     # ------------------------------------------------------------------ #
 

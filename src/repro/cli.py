@@ -57,6 +57,9 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--w", type=int, default=8, help="bucket window (default 8)")
     c.add_argument("--psi", type=int, default=25, help="pair threshold ψ (default 25)")
     c.add_argument("--batchsize", type=int, default=60)
+    c.add_argument("--align-batch", type=int, default=0, metavar="G",
+                   help="vectorised alignment group size "
+                        "(0 = per-pair reference engine)")
     c.add_argument("--min-overlap", type=int, default=40)
     c.add_argument("--min-ratio", type=float, default=0.85, help="score/ideal acceptance")
     c.add_argument("--parallel", type=int, default=0, metavar="P",
@@ -117,6 +120,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         w=args.w,
         psi=args.psi,
         batchsize=args.batchsize,
+        align_batch=args.align_batch,
         acceptance=AcceptanceCriteria(
             min_score_ratio=args.min_ratio, min_overlap=args.min_overlap
         ),

@@ -21,9 +21,10 @@ from typing import Iterable
 
 from repro.align.extend import PairAligner
 from repro.cluster.manager import ClusterManager
+from repro.pairs.ondemand import OnDemandPairGenerator
 from repro.pairs.pair import Pair
 
-__all__ = ["WorkCounters", "greedy_cluster"]
+__all__ = ["WorkCounters", "greedy_cluster", "greedy_cluster_batched"]
 
 
 @dataclass
@@ -82,5 +83,64 @@ def greedy_cluster(
         if accepted:
             counters.pairs_accepted += 1
             manager.merge(pair, result)
+    counters.dp_cells += aligner.dp_cells_total - cells_before
+    return counters
+
+
+def greedy_cluster_batched(
+    pair_stream: Iterable[Pair],
+    aligner: PairAligner,
+    manager: ClusterManager,
+    *,
+    batch_size: int,
+    skip_clustered: bool = True,
+    counters: WorkCounters | None = None,
+    max_alignments: int | None = None,
+) -> WorkCounters:
+    """The clustering loop in batch strides (mutates ``manager``).
+
+    Pulls ``batch_size`` pairs at a time, applies pair selection to the
+    whole batch, aligns the survivors with one
+    :meth:`~repro.align.extend.PairAligner.align_and_decide_batch` call
+    (vectorised by :class:`~repro.align.batch.BatchPairAligner`), then
+    merges the accepted ones.  Pairs of one batch cannot see each other's
+    merges, so slightly more pairs are aligned than in the one-at-a-time
+    loop — but the final partition is identical, because it is the
+    connected components of the accepted-pair graph and acceptance is a
+    pure per-pair decision (``manager.merge`` already ignores redundant
+    unions).
+    """
+    counters = counters if counters is not None else WorkCounters()
+    cells_before = aligner.dp_cells_total
+    generator = (
+        pair_stream
+        if isinstance(pair_stream, OnDemandPairGenerator)
+        else OnDemandPairGenerator(pair_stream)
+    )
+    while not generator.exhausted:
+        raw = generator.next_batch(batch_size)
+        if not raw:
+            break
+        counters.pairs_generated += len(raw)
+        batch: list[Pair] = []
+        for pair in raw:
+            if skip_clustered and manager.same_cluster(pair.est_a, pair.est_b):
+                counters.pairs_skipped += 1
+                continue
+            if (
+                max_alignments is not None
+                and counters.pairs_processed + len(batch) >= max_alignments
+            ):
+                counters.pairs_skipped += 1
+                continue
+            batch.append(pair)
+        if not batch:
+            continue
+        results = aligner.align_and_decide_batch(batch)
+        counters.pairs_processed += len(batch)
+        for pair, (result, accepted) in zip(batch, results):
+            if accepted:
+                counters.pairs_accepted += 1
+                manager.merge(pair, result)
     counters.dp_cells += aligner.dp_cells_total - cells_before
     return counters

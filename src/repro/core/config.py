@@ -38,6 +38,11 @@ class ClusteringConfig:
     #: band) or "kdiff" (greedy minimum-edit, O(k^2) work — the fast path;
     #: quality-equivalent at EST error rates, see benchmarks/bench_engines).
     align_engine: str = "banded"
+    #: DP group size for the batched alignment engine
+    #: (:class:`repro.align.batch.BatchPairAligner`): extensions are aligned
+    #: in vectorised groups of up to this many.  ``0`` keeps the per-pair
+    #: reference engine.
+    align_batch: int = 0
     scoring: ScoringParams = field(default_factory=ScoringParams)
     acceptance: AcceptanceCriteria = field(default_factory=AcceptanceCriteria)
     band_policy: BandPolicy = field(default_factory=BandPolicy)
@@ -50,6 +55,7 @@ class ClusteringConfig:
         check_positive("w", self.w)
         check_positive("psi", self.psi)
         check_positive("batchsize", self.batchsize)
+        check_positive("align_batch", self.align_batch, strict=False)
         check_positive("workbuf_capacity", self.workbuf_capacity)
         check_positive("pairbuf_capacity", self.pairbuf_capacity)
         if self.psi < self.w:

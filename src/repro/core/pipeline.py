@@ -20,8 +20,8 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.align.extend import PairAligner
-from repro.cluster.greedy import WorkCounters, greedy_cluster
+from repro.align.batch import make_aligner
+from repro.cluster.greedy import WorkCounters, greedy_cluster, greedy_cluster_batched
 from repro.cluster.manager import ClusterManager
 from repro.core.config import ClusteringConfig
 from repro.core.results import ClusteringResult
@@ -70,25 +70,29 @@ class PaceClusterer:
             else:
                 generator = TreePairGenerator(gst, psi=cfg.psi)
 
-        aligner = PairAligner(
-            collection,
-            params=cfg.scoring,
-            criteria=cfg.acceptance,
-            band_policy=cfg.band_policy,
-            use_seed_extension=cfg.use_seed_extension,
-            engine=cfg.align_engine,
-            telemetry=tel if tel.enabled else None,
+        aligner = make_aligner(
+            collection, cfg, telemetry=tel if tel.enabled else None
         )
         manager = ClusterManager(collection.n_ests)
         counters = WorkCounters()
         with tel.span("alignment"):
-            greedy_cluster(
-                generator.pairs(),
-                aligner,
-                manager,
-                skip_clustered=cfg.skip_clustered,
-                counters=counters,
-            )
+            if cfg.align_batch:
+                greedy_cluster_batched(
+                    generator.pairs(),
+                    aligner,
+                    manager,
+                    batch_size=cfg.batchsize,
+                    skip_clustered=cfg.skip_clustered,
+                    counters=counters,
+                )
+            else:
+                greedy_cluster(
+                    generator.pairs(),
+                    aligner,
+                    manager,
+                    skip_clustered=cfg.skip_clustered,
+                    counters=counters,
+                )
 
         snapshot = None
         if telemetry is not None:
@@ -118,25 +122,29 @@ class PaceClusterer:
         cfg = self.config
         tel = telemetry if telemetry is not None else Telemetry(enabled=False)
         timings = TimingBreakdown(registry=tel.registry)
-        aligner = PairAligner(
-            collection,
-            params=cfg.scoring,
-            criteria=cfg.acceptance,
-            band_policy=cfg.band_policy,
-            use_seed_extension=cfg.use_seed_extension,
-            engine=cfg.align_engine,
-            telemetry=tel if tel.enabled else None,
+        aligner = make_aligner(
+            collection, cfg, telemetry=tel if tel.enabled else None
         )
         manager = ClusterManager(collection.n_ests)
         counters = WorkCounters()
         with tel.span("alignment"):
-            greedy_cluster(
-                pair_stream,
-                aligner,
-                manager,
-                skip_clustered=cfg.skip_clustered,
-                counters=counters,
-            )
+            if cfg.align_batch:
+                greedy_cluster_batched(
+                    pair_stream,
+                    aligner,
+                    manager,
+                    batch_size=cfg.batchsize,
+                    skip_clustered=cfg.skip_clustered,
+                    counters=counters,
+                )
+            else:
+                greedy_cluster(
+                    pair_stream,
+                    aligner,
+                    manager,
+                    skip_clustered=cfg.skip_clustered,
+                    counters=counters,
+                )
         snapshot = None
         if telemetry is not None:
             snapshot = tel.snapshot(engine="sequential", n_processors=1)

@@ -38,6 +38,9 @@ class OnDemandPairGenerator:
         self._exhausted = False
         self._produced = 0
         self._telemetry = telemetry
+        #: One-pair lookahead: peeked off the stream to learn whether a full
+        #: batch also drained it (see :meth:`next_batch`).
+        self._pending: Pair | None = None
 
     @property
     def exhausted(self) -> bool:
@@ -50,16 +53,35 @@ class OnDemandPairGenerator:
         return self._produced
 
     def next_batch(self, k: int) -> list[Pair]:
-        """Up to ``k`` further pairs (fewer only at end of stream)."""
+        """Up to ``k`` further pairs (fewer only at end of stream).
+
+        ``exhausted`` flips on the *same* call that drains the stream —
+        even when the final batch comes back full — by peeking one pair
+        ahead.  A slave can therefore turn passive with the batch that
+        consumed its last pair instead of needing one extra empty round
+        trip (§3.3's "running out of pairs").
+        """
         if k < 0:
             raise ValueError(f"batch size must be >= 0, got {k}")
         batch: list[Pair] = []
+        if self._pending is not None and k > 0:
+            batch.append(self._pending)
+            self._pending = None
         while len(batch) < k and not self._exhausted:
             try:
                 batch.append(next(self._it))
             except StopIteration:
                 self._exhausted = True
+        if k > 0 and not self._exhausted and self._pending is None:
+            # Full batch: peek ahead so a simultaneously-drained stream is
+            # reported on this batch, not the next empty one.
+            try:
+                self._pending = next(self._it)
+            except StopIteration:
+                self._exhausted = True
         self._produced += len(batch)
+        # The exhausted flip above must precede this write: the telemetry
+        # record for the draining batch then carries the final state.
         if self._telemetry is not None and batch:
             self._telemetry.count("pairs.produced", len(batch))
             self._telemetry.observe(
@@ -70,11 +92,15 @@ class OnDemandPairGenerator:
     def __iter__(self) -> Iterator[Pair]:
         """Drain the remainder of the stream."""
         while not self._exhausted:
-            try:
-                item = next(self._it)
-            except StopIteration:
-                self._exhausted = True
-                return
+            if self._pending is not None:
+                item = self._pending
+                self._pending = None
+            else:
+                try:
+                    item = next(self._it)
+                except StopIteration:
+                    self._exhausted = True
+                    return
             self._produced += 1
             if self._telemetry is not None:
                 self._telemetry.count("pairs.produced", 1)

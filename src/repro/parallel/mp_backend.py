@@ -44,6 +44,7 @@ import traceback
 from dataclasses import dataclass, field
 from multiprocessing.connection import Connection, wait
 
+from repro.align.batch import make_aligner
 from repro.align.extend import PairAligner
 from repro.cluster.greedy import WorkCounters
 from repro.core.config import ClusteringConfig
@@ -140,15 +141,7 @@ def _slave_worker(
                 generator = SaPairGenerator(gst, psi=config.psi, ranges=ranges)
         else:
             generator = SaPairGenerator(gst, psi=config.psi, ranges=ranges)
-        aligner = PairAligner(
-            gst.collection,
-            params=config.scoring,
-            criteria=config.acceptance,
-            band_policy=config.band_policy,
-            use_seed_extension=config.use_seed_extension,
-            engine=config.align_engine,
-            telemetry=tel,
-        )
+        aligner = make_aligner(gst.collection, config, telemetry=tel)
         logic = SlaveLogic(
             slave_id=slave_id,
             generator=OnDemandPairGenerator(generator.pairs(), telemetry=tel),
@@ -525,14 +518,7 @@ def cluster_multiprocessing(
                 # survived to align them, so the master finishes the
                 # remaining alignments itself (last-resort degraded mode).
                 if local_aligner is None:
-                    local_aligner = PairAligner(
-                        collection,
-                        params=config.scoring,
-                        criteria=config.acceptance,
-                        band_policy=config.band_policy,
-                        use_seed_extension=config.use_seed_extension,
-                        engine=config.align_engine,
-                    )
+                    local_aligner = make_aligner(collection, config)
                 t_drain = tel.now() if rec is not None else 0.0
                 local_aligned += drain_workbuf(master, local_aligner)
                 if rec is not None:

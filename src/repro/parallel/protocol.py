@@ -463,12 +463,13 @@ class SlaveLogic:
     def _align_batch(
         self, pairs: list[Pair], costs: SlaveStepCosts
     ) -> tuple[tuple[Pair, AlignmentResult, bool], ...]:
-        out = []
         cells_before = self.aligner.dp_cells_total
         model_before = self.aligner.model_cells_total
-        for pair in pairs:
-            result, accepted = self.aligner.align_and_decide(pair)
-            out.append((pair, result, accepted))
+        decisions = self.aligner.align_and_decide_batch(pairs)
+        out = [
+            (pair, result, accepted)
+            for pair, (result, accepted) in zip(pairs, decisions)
+        ]
         costs.n_alignments += len(pairs)
         costs.dp_cells += self.aligner.dp_cells_total - cells_before
         costs.model_cells += self.aligner.model_cells_total - model_before

@@ -68,6 +68,8 @@ class EstCollection:
                 reverse_complement(est)
             )
         self._buffer.setflags(write=False)
+        #: Lazily materialised signed copy of the buffer (see :meth:`arena`).
+        self._arena: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -147,6 +149,21 @@ class EstCollection:
     def is_complemented(k: int) -> bool:
         """True iff string ``k`` is a reverse complement (odd index)."""
         return bool(k & 1)
+
+    def arena(self) -> tuple[np.ndarray, np.ndarray]:
+        """The shared signed encoding arena: ``(buffer, offsets)``.
+
+        ``buffer`` is an ``int8`` copy of the concatenated string buffer
+        (string ``k`` occupies ``buffer[offsets[k]:offsets[k+1]]``),
+        materialised once per collection and read-only.  Nucleotide codes
+        are 0..3, so batch alignment kernels can pad groups with negative
+        sentinels that never compare equal to a real character.
+        """
+        if self._arena is None:
+            arena = self._buffer.astype(np.int8)
+            arena.setflags(write=False)
+            self._arena = arena
+        return self._arena, self._offsets
 
     def left_extension(self, k: int, offset: int) -> int:
         """The paper's left-extension character of suffix ``(k, offset)``:

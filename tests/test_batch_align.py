@@ -1,0 +1,198 @@
+"""Batched alignment engine: equivalence with the per-pair oracle.
+
+The whole contract of :class:`repro.align.batch.BatchPairAligner` is that
+it is a pure performance layer: for any batch of promising pairs it must
+return exactly the ``(AlignmentResult, accepted)`` decisions the per-pair
+:class:`repro.align.extend.PairAligner` produces — bitwise-equal scores
+included — while doing the DP in vectorised shape groups.  These tests pin
+that property down, with hypothesis driving random collections, random
+(possibly bogus-seeded) pair batches, and random group sizes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align import (
+    BandedWorkspace,
+    BatchPairAligner,
+    PairAligner,
+    ScoringParams,
+    extend_overlap,
+    extend_overlap_group,
+    make_aligner,
+)
+from repro.core.config import ClusteringConfig
+from repro.pairs.pair import Pair
+from repro.sequence import EstCollection
+from repro.telemetry import Telemetry
+
+dna = st.text(alphabet="ACGT", min_size=5, max_size=60)
+
+
+@st.composite
+def collection_and_batch(draw):
+    """A small collection plus a random batch of well-formed pairs.
+
+    The seed substrings need not actually match — neither aligner inspects
+    them — so offsets and lengths are only constrained to stay in bounds.
+    """
+    n_ests = draw(st.integers(2, 5))
+    col = EstCollection.from_strings([draw(dna) for _ in range(n_ests)])
+    pairs = []
+    for _ in range(draw(st.integers(0, 12))):
+        est_a = draw(st.integers(0, n_ests - 2))
+        est_b = draw(st.integers(est_a + 1, n_ests - 1))
+        string_a = 2 * est_a
+        string_b = 2 * est_b + draw(st.integers(0, 1))
+        la, lb = col.length(string_a), col.length(string_b)
+        length = draw(st.integers(1, min(la, lb)))
+        off_a = draw(st.integers(0, la - length))
+        off_b = draw(st.integers(0, lb - length))
+        pairs.append(Pair(length, string_a, off_a, string_b, off_b))
+    return col, pairs
+
+
+class TestGroupKernel:
+    def test_matches_scalar_kernel_bitwise(self):
+        rng = np.random.default_rng(11)
+        params = ScoringParams()
+        ws = BandedWorkspace()
+        for _ in range(50):
+            g = int(rng.integers(1, 24))
+            xs = [rng.integers(0, 4, rng.integers(1, 90)).astype(np.int8) for _ in range(g)]
+            ys = [rng.integers(0, 4, rng.integers(1, 90)).astype(np.int8) for _ in range(g)]
+            bands = rng.integers(0, 16, g)
+            scores, cx, cy, cells = extend_overlap_group(
+                xs, ys, bands, params, workspace=ws
+            )
+            for k in range(g):
+                ref = extend_overlap(xs[k], ys[k], params, int(bands[k]))
+                assert (
+                    float(scores[k]),
+                    int(cx[k]),
+                    int(cy[k]),
+                    int(cells[k]),
+                ) == tuple(ref)
+
+    def test_empty_group(self):
+        scores, cx, cy, cells = extend_overlap_group([], [], [], ScoringParams())
+        assert scores.size == cx.size == cy.size == cells.size == 0
+
+    def test_rejects_empty_extensions_and_bad_bands(self):
+        params = ScoringParams()
+        a = np.array([0, 1], dtype=np.int8)
+        with pytest.raises(ValueError):
+            extend_overlap_group([a], [np.array([], dtype=np.int8)], [3], params)
+        with pytest.raises(ValueError):
+            extend_overlap_group([a], [a], [-1], params)
+        with pytest.raises(ValueError):
+            extend_overlap_group([a, a], [a], [3, 3], params)
+
+    def test_workspace_reuses_buffers(self):
+        ws = BandedWorkspace()
+        params = ScoringParams()
+        a = np.array([0, 1, 2, 3] * 10, dtype=np.int8)
+        extend_overlap_group([a], [a], [5], params, workspace=ws)
+        assert ws.grows == 1 and ws.reuses == 0
+        extend_overlap_group([a[:7]], [a[:9]], [5], params, workspace=ws)
+        assert ws.grows == 1 and ws.reuses == 1
+
+
+class TestBatchAlignerEquivalence:
+    @settings(deadline=None, max_examples=60)
+    @given(collection_and_batch(), st.integers(1, 16))
+    def test_identical_to_per_pair_oracle(self, col_and_batch, group_size):
+        col, pairs = col_and_batch
+        ref = PairAligner(col)
+        bat = BatchPairAligner(col, group_size=group_size)
+        expected = [ref.align_and_decide(p) for p in pairs]
+        got = bat.align_and_decide_batch(pairs)
+        assert got == expected  # scores, spans, patterns, accept/reject
+        assert bat.alignments_performed == ref.alignments_performed
+        assert bat.dp_cells_total == ref.dp_cells_total
+        assert bat.model_cells_total == ref.model_cells_total
+
+    def test_empty_batch(self):
+        col = EstCollection.from_strings(["ACGTACGTAC", "TGCATGCATG"])
+        bat = BatchPairAligner(col)
+        assert bat.align_and_decide_batch([]) == []
+        assert bat.alignments_performed == 0
+
+    def test_single_pair_batch(self):
+        col = EstCollection.from_strings(["ACGTACGTACGT", "GTACGTACGTAA"])
+        pair = Pair(8, 0, 2, 2, 0)
+        expected = PairAligner(col).align_and_decide(pair)
+        assert BatchPairAligner(col).align_and_decide_batch([pair]) == [expected]
+
+    def test_seed_at_string_edges(self):
+        # Seeds flush against either string end make one extension empty —
+        # the slot the kernel never sees.
+        col = EstCollection.from_strings(["ACGTACGTAC", "ACGTACGTAC"])
+        edge_pairs = [
+            Pair(10, 0, 0, 2, 0),  # both extensions empty
+            Pair(5, 0, 0, 2, 5),  # left empty for a, right empty for b
+            Pair(5, 0, 5, 2, 0),
+        ]
+        ref = PairAligner(col)
+        expected = [ref.align_and_decide(p) for p in edge_pairs]
+        assert BatchPairAligner(col).align_and_decide_batch(edge_pairs) == expected
+
+    def test_base_class_batch_method_loops(self):
+        col = EstCollection.from_strings(["ACGTACGTACGT", "GTACGTACGTAA"])
+        pairs = [Pair(8, 0, 2, 2, 0), Pair(6, 0, 0, 2, 1)]
+        ref = PairAligner(col)
+        expected = [PairAligner(col).align_and_decide(p) for p in pairs]
+        assert ref.align_and_decide_batch(pairs) == expected
+
+    def test_non_banded_engines_fall_back_to_oracle(self):
+        col = EstCollection.from_strings(["ACGTACGTACGT", "GTACGTACGTAA"])
+        pairs = [Pair(8, 0, 2, 2, 0)]
+        for kwargs in ({"engine": "kdiff"}, {"use_seed_extension": False}):
+            expected = [PairAligner(col, **kwargs).align_and_decide(p) for p in pairs]
+            assert (
+                BatchPairAligner(col, **kwargs).align_and_decide_batch(pairs)
+                == expected
+            )
+
+
+class TestTelemetryParity:
+    def test_aggregate_metrics_match_per_pair_engine(self):
+        rng = np.random.default_rng(3)
+        col = EstCollection.from_strings(
+            ["".join(rng.choice(list("ACGT"), 70)) for _ in range(4)]
+        )
+        pairs = [
+            Pair(12, 0, 10, 2 * b + strand, 20)
+            for b, strand in ((1, 0), (2, 1), (3, 0), (1, 1))
+        ]
+        tel_ref, tel_bat = Telemetry(), Telemetry()
+        for p in pairs:
+            PairAligner(col, telemetry=tel_ref).align_and_decide(p)
+        BatchPairAligner(
+            col, telemetry=tel_bat, group_size=2
+        ).align_and_decide_batch(pairs)
+        ref_counters = tel_ref.registry.snapshot()["counters"]
+        bat_counters = tel_bat.registry.snapshot()["counters"]
+        for key in ("align.accepted", "align.rejected"):
+            assert ref_counters.get(key, 0) == bat_counters.get(key, 0)
+        ref_hists = tel_ref.registry.snapshot()["histograms"]
+        bat_hists = tel_bat.registry.snapshot()["histograms"]
+        assert ref_hists["align.band_width"] == bat_hists["align.band_width"]
+        assert "align.batch_size" in bat_hists
+        assert bat_counters.get("align.buffer_reuse", 0) >= 1
+
+
+class TestMakeAligner:
+    def test_selects_engine_from_config(self):
+        col = EstCollection.from_strings(["ACGTACGTAC", "TGCATGCATG"])
+        per_pair = make_aligner(col, ClusteringConfig())
+        assert type(per_pair) is PairAligner
+        batched = make_aligner(col, ClusteringConfig(align_batch=32))
+        assert isinstance(batched, BatchPairAligner)
+        assert batched.group_size == 32
+
+    def test_config_rejects_negative_group(self):
+        with pytest.raises(ValueError):
+            ClusteringConfig(align_batch=-1)

@@ -6,6 +6,8 @@ errors, strand-invariance, parity between all execution engines, and the
 conservative (UN > OV) quality profile of Table 2.
 """
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
@@ -45,6 +47,27 @@ class TestEngineParity:
         sim = simulate_clustering(col, small_config, n_processors=5).result.clusters
         mp = cluster_multiprocessing(col, small_config, n_processors=3).clusters
         assert seq_sa == seq_tree == sim == mp
+
+    @pytest.mark.parametrize("align_batch", [0, 48])
+    def test_batched_and_per_pair_cluster_output_identical(
+        self, small_benchmark, small_config, align_batch
+    ):
+        """The batched aligner is a pure performance layer: byte-identical
+        cluster output to the per-pair reference engine."""
+        col = small_benchmark.collection
+        reference = PaceClusterer(small_config).cluster(col).clusters
+        cfg = replace(small_config, align_batch=align_batch)
+        got = PaceClusterer(cfg).cluster(col).clusters
+        assert repr(got).encode() == repr(reference).encode()
+
+    def test_parallel_engines_with_batched_aligner(self, small_benchmark, small_config):
+        col = small_benchmark.collection
+        reference = PaceClusterer(small_config).cluster(col).clusters
+        cfg = replace(small_config, align_batch=32)
+        sim = simulate_clustering(col, cfg, n_processors=4).result.clusters
+        mp = cluster_multiprocessing(col, cfg, n_processors=2).clusters
+        assert sim == reference
+        assert mp == reference
 
 
 class TestErrorRobustness:

@@ -178,3 +178,36 @@ class TestOnDemand:
         for size in (1, 2, 3, 50, 44, 10):
             seen.extend(gen.next_batch(size))
         assert seen == list(range(100))
+
+    def test_exhausted_flips_with_the_draining_full_batch(self):
+        # A stream of exactly k·m pairs must report exhaustion on the batch
+        # that drains it, not on a later empty one — slaves turn passive
+        # with that batch (§3.3) instead of paying an extra round trip.
+        gen = OnDemandPairGenerator(iter(range(6)))
+        assert gen.next_batch(3) == [0, 1, 2]
+        assert not gen.exhausted
+        assert gen.next_batch(3) == [3, 4, 5]
+        assert gen.exhausted
+        assert gen.next_batch(3) == []
+        assert gen.produced == 6
+
+    def test_lookahead_pair_is_not_lost(self):
+        # The peeked pair must come back at the head of the next batch or
+        # via iteration.
+        gen = OnDemandPairGenerator(iter(range(5)))
+        assert gen.next_batch(2) == [0, 1]
+        assert gen.next_batch(2) == [2, 3]
+        assert list(gen) == [4]
+        assert gen.exhausted and gen.produced == 5
+
+    def test_partial_final_batch_reaches_the_histogram(self):
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry()
+        gen = OnDemandPairGenerator(iter(range(7)), telemetry=tel)
+        while not gen.exhausted:
+            gen.next_batch(3)
+        hist = tel.registry.snapshot()["histograms"]["pairs.batch_size"]
+        assert hist["count"] == 3  # batches of 3, 3 and the partial 1
+        assert hist["sum"] == 7.0
+        assert tel.registry.get("pairs.produced") == 7
