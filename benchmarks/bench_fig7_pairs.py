@@ -55,3 +55,11 @@ def test_fig7_pair_counts(benchmark, paper_table):
         rounds=1,
         iterations=1,
     )
+
+    # Engine parity at the smallest size: the vectorised pair generator
+    # must leave every Fig. 7 counter (and the partition) unchanged.
+    vec_cfg = bench_config(pair_engine="vector")
+    res_s = PaceClusterer(cfg).cluster(small.collection)
+    res_v = PaceClusterer(vec_cfg).cluster(small.collection)
+    assert res_v.counters == res_s.counters
+    assert res_v.labels() == res_s.labels()

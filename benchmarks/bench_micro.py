@@ -20,7 +20,7 @@ from repro.align import (
     overlap_align,
 )
 from repro.cluster import UnionFind
-from repro.pairs import SaPairGenerator
+from repro.pairs import SaPairGenerator, VectorPairGenerator
 from repro.suffix import build_suffix_array
 from repro.suffix.lcp import lcp_from_rank_levels, lcp_kasai
 
@@ -76,6 +76,20 @@ def test_pair_generation_throughput(benchmark, medium):
 
     count = benchmark.pedantic(drain, rounds=1, iterations=1)
     assert count > 0
+
+
+def test_pair_generation_vector(benchmark, medium):
+    gst = dataset_gst(30_000)
+
+    def drain():
+        gen = VectorPairGenerator(gst, psi=bench_config().psi)
+        return sum(1 for _ in gen.pairs())
+
+    count = benchmark.pedantic(drain, rounds=1, iterations=1)
+    # Pure perf layer: identical pair count to the scalar drain above.
+    assert count == sum(
+        1 for _ in SaPairGenerator(gst, psi=bench_config().psi).pairs()
+    )
 
 
 def test_banded_extension(benchmark):

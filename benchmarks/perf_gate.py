@@ -1,16 +1,17 @@
-"""Alignment-engine perf gate: per-pair vs batched on the 30k dataset.
+"""Perf gates for the vectorised engines: alignment and pair generation.
 
-Measures the wall time of aligning a fixed slice of the 30k-scaled
-dataset's promising-pair stream with the per-pair reference engine and the
-batched engine, verifies the batched decisions are identical (the oracle
-property), and writes the numbers as JSON.  Exits non-zero when the
-speedup falls below ``--min-speedup`` — CI runs this to keep the batched
-engine's advantage locked in, and the committed ``BENCH_align.json`` at
-the repo root records the reference measurement.
+Two subcommands, one per engine pair, each measuring the scalar reference
+against its vectorised counterpart on the 30k-scaled dataset, verifying
+the vectorised output is *identical* (the oracle property), and writing
+the numbers as JSON.  Exits non-zero when the speedup falls below
+``--min-speedup`` — CI runs both to keep the advantages locked in, and
+the committed ``BENCH_align.json`` / ``BENCH_pairs.json`` at the repo
+root record the reference measurements.
 
 Usage::
 
-    python benchmarks/perf_gate.py --out BENCH_align.json --min-speedup 2.0
+    python benchmarks/perf_gate.py align --out BENCH_align.json --min-speedup 2.0
+    python benchmarks/perf_gate.py pairs --out BENCH_pairs.json --min-speedup 3.0
 """
 
 from __future__ import annotations
@@ -23,9 +24,10 @@ from pathlib import Path
 
 from _common import bench_config, dataset, dataset_gst
 from repro.align import BatchPairAligner, PairAligner
-from repro.pairs import SaPairGenerator
+from repro.pairs import SaPairGenerator, VectorPairGenerator
 
-SCHEMA = "pace-align-gate/1"
+ALIGN_SCHEMA = "pace-align-gate/1"
+PAIRS_SCHEMA = "pace-pairs-gate/1"
 
 
 def _measure(make_run, rounds: int) -> tuple[float, object]:
@@ -39,21 +41,22 @@ def _measure(make_run, rounds: int) -> tuple[float, object]:
     return best, out
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", type=Path, default=None,
-                        help="write the measurement JSON here")
-    parser.add_argument("--min-speedup", type=float, default=2.0,
-                        help="fail when batched speedup is below this "
-                             "(default 2.0)")
-    parser.add_argument("--pairs", type=int, default=1000,
-                        help="promising pairs to align (default 1000)")
-    parser.add_argument("--group-size", type=int, default=64,
-                        help="batched engine DP group size (default 64)")
-    parser.add_argument("--rounds", type=int, default=3,
-                        help="timing rounds, best-of (default 3)")
-    args = parser.parse_args(argv)
+def _finish(record: dict, args, speedup: float, label: str) -> int:
+    print(json.dumps(record, indent=2))
+    if args.out is not None:
+        args.out.write_text(json.dumps(record, indent=2) + "\n")
+    if speedup < args.min_speedup:
+        print(
+            f"perf gate FAILED: {label} speedup {speedup:.2f}x < "
+            f"{args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"perf gate passed: {label} {speedup:.2f}x faster")
+    return 0
 
+
+def run_align(args) -> int:
     col = dataset(30_000).collection
     gst = dataset_gst(30_000)
     pairs = []
@@ -78,7 +81,7 @@ def main(argv: list[str] | None = None) -> int:
 
     speedup = t_ref / t_bat if t_bat > 0 else float("inf")
     record = {
-        "schema": SCHEMA,
+        "schema": ALIGN_SCHEMA,
         "dataset": 30_000,
         "n_pairs": len(pairs),
         "group_size": args.group_size,
@@ -87,18 +90,70 @@ def main(argv: list[str] | None = None) -> int:
         "speedup": round(speedup, 2),
         "min_speedup": args.min_speedup,
     }
-    print(json.dumps(record, indent=2))
-    if args.out is not None:
-        args.out.write_text(json.dumps(record, indent=2) + "\n")
-    if speedup < args.min_speedup:
-        print(
-            f"perf gate FAILED: batched speedup {speedup:.2f}x < "
-            f"{args.min_speedup:.2f}x",
-            file=sys.stderr,
-        )
-        return 1
-    print(f"perf gate passed: batched alignment {speedup:.2f}x faster")
-    return 0
+    return _finish(record, args, speedup, "batched alignment")
+
+
+def run_pairs(args) -> int:
+    gst = dataset_gst(30_000)
+    psi = bench_config().psi
+
+    t_sca, sca_out = _measure(
+        lambda: list(SaPairGenerator(gst, psi).pairs()), args.rounds
+    )
+    t_vec, vec_out = _measure(
+        lambda: list(VectorPairGenerator(gst, psi).pairs()), args.rounds
+    )
+    # Exact equality — same multiset AND same order, within and across
+    # depths.  The vector engine must be a pure performance layer.
+    if vec_out != sca_out:
+        print("FAIL: vector pair stream differs from the scalar oracle",
+              file=sys.stderr)
+        return 2
+
+    speedup = t_sca / t_vec if t_vec > 0 else float("inf")
+    record = {
+        "schema": PAIRS_SCHEMA,
+        "dataset": 30_000,
+        "psi": psi,
+        "n_pairs": len(sca_out),
+        "scalar_seconds": round(t_sca, 4),
+        "vector_seconds": round(t_vec, 4),
+        "speedup": round(speedup, 2),
+        "min_speedup": args.min_speedup,
+    }
+    return _finish(record, args, speedup, "vector pair generation")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="gate", required=True)
+
+    p_align = sub.add_parser("align", help="per-pair vs batched alignment")
+    p_align.add_argument("--out", type=Path, default=None,
+                         help="write the measurement JSON here")
+    p_align.add_argument("--min-speedup", type=float, default=2.0,
+                         help="fail when batched speedup is below this "
+                              "(default 2.0)")
+    p_align.add_argument("--pairs", type=int, default=1000,
+                         help="promising pairs to align (default 1000)")
+    p_align.add_argument("--group-size", type=int, default=64,
+                         help="batched engine DP group size (default 64)")
+    p_align.add_argument("--rounds", type=int, default=3,
+                         help="timing rounds, best-of (default 3)")
+    p_align.set_defaults(func=run_align)
+
+    p_pairs = sub.add_parser("pairs", help="scalar vs vector pair generation")
+    p_pairs.add_argument("--out", type=Path, default=None,
+                         help="write the measurement JSON here")
+    p_pairs.add_argument("--min-speedup", type=float, default=3.0,
+                         help="fail when vector speedup is below this "
+                              "(default 3.0)")
+    p_pairs.add_argument("--rounds", type=int, default=3,
+                         help="timing rounds, best-of (default 3)")
+    p_pairs.set_defaults(func=run_pairs)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
 
 
 if __name__ == "__main__":

@@ -29,7 +29,7 @@ from repro.cluster.manager import ClusterManager
 from repro.core.config import ClusteringConfig
 from repro.core.results import ClusteringResult
 from repro.metrics.memory import MemoryLedger
-from repro.pairs.sa_generator import SaPairGenerator
+from repro.pairs.batch import make_pair_generator
 from repro.sequence.collection import EstCollection
 from repro.suffix.gst import SuffixArrayGst
 from repro.util.rng import ensure_rng
@@ -74,7 +74,7 @@ def allpairs_cluster(
     with timings.measure("gst_construction"):
         gst = gst or SuffixArrayGst.build(collection)
     with timings.measure("sort_nodes"):
-        generator = SaPairGenerator(gst, psi=config.psi)
+        generator = make_pair_generator(gst, config)
 
     with timings.measure("pair_enumeration"):
         pairs = list(generator.pairs())

@@ -29,7 +29,7 @@ from repro.cluster.manager import ClusterManager
 from repro.core.config import ClusteringConfig
 from repro.core.results import ClusteringResult
 from repro.metrics.memory import MemoryLedger
-from repro.pairs.sa_generator import SaPairGenerator
+from repro.pairs.batch import make_pair_generator
 from repro.sequence.collection import EstCollection
 from repro.suffix.gst import SuffixArrayGst
 from repro.util.timing import TimingBreakdown
@@ -68,7 +68,7 @@ def cap3_like_cluster(
     with timings.measure("gst_construction"):
         gst = gst or SuffixArrayGst.build(collection)
     with timings.measure("sort_nodes"):
-        generator = SaPairGenerator(gst, psi=config.psi)
+        generator = make_pair_generator(gst, config)
 
     # Deduplicate candidates by pair identity (CAP3 scores each read pair
     # once), keeping the first (longest-seed) witness.

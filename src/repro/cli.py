@@ -60,6 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--align-batch", type=int, default=0, metavar="G",
                    help="vectorised alignment group size "
                         "(0 = per-pair reference engine)")
+    c.add_argument("--pair-engine", choices=("scalar", "vector"),
+                   default="scalar",
+                   help="promising-pair generation engine: 'vector' runs "
+                        "the depth-batched numpy engine (identical pair "
+                        "stream, several times faster)")
     c.add_argument("--min-overlap", type=int, default=40)
     c.add_argument("--min-ratio", type=float, default=0.85, help="score/ideal acceptance")
     c.add_argument("--parallel", type=int, default=0, metavar="P",
@@ -121,6 +126,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         psi=args.psi,
         batchsize=args.batchsize,
         align_batch=args.align_batch,
+        pair_engine=args.pair_engine,
         acceptance=AcceptanceCriteria(
             min_score_ratio=args.min_ratio, min_overlap=args.min_overlap
         ),

@@ -43,6 +43,12 @@ class ClusteringConfig:
     #: in vectorised groups of up to this many.  ``0`` keeps the per-pair
     #: reference engine.
     align_batch: int = 0
+    #: Promising-pair generation engine over the suffix-array backend:
+    #: "scalar" (:class:`repro.pairs.sa_generator.SaPairGenerator`, the
+    #: reference) or "vector" (:class:`repro.pairs.batch.VectorPairGenerator`,
+    #: depth-batched numpy sweeps over flat lset arenas — identical pair
+    #: stream, several times faster).
+    pair_engine: str = "scalar"
     scoring: ScoringParams = field(default_factory=ScoringParams)
     acceptance: AcceptanceCriteria = field(default_factory=AcceptanceCriteria)
     band_policy: BandPolicy = field(default_factory=BandPolicy)
@@ -67,6 +73,14 @@ class ClusteringConfig:
             raise ValueError(f"unknown backend {self.backend!r}")
         if self.align_engine not in ("banded", "kdiff"):
             raise ValueError(f"unknown align_engine {self.align_engine!r}")
+        if self.pair_engine not in ("scalar", "vector"):
+            raise ValueError(f"unknown pair_engine {self.pair_engine!r}")
+        if self.pair_engine == "vector" and self.backend != "suffix_array":
+            raise ValueError(
+                "pair_engine 'vector' requires the suffix_array backend: the "
+                "vectorised generator runs on LCP-interval forests, which the "
+                "tree backend does not build"
+            )
 
     @classmethod
     def small_reads(cls, **overrides) -> "ClusteringConfig":

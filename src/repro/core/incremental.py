@@ -34,7 +34,7 @@ from repro.cluster.greedy import WorkCounters
 from repro.cluster.manager import ClusterManager
 from repro.core.config import ClusteringConfig
 from repro.core.results import ClusteringResult
-from repro.pairs.sa_generator import SaPairGenerator
+from repro.pairs.batch import make_pair_generator
 from repro.sequence.collection import EstCollection
 from repro.suffix.gst import SuffixArrayGst
 from repro.util.timing import TimingBreakdown
@@ -100,7 +100,7 @@ class IncrementalClusterer:
         with timings.measure("gst_construction"):
             gst = SuffixArrayGst.build(merged)
         with timings.measure("sort_nodes"):
-            generator = SaPairGenerator(gst, psi=cfg.psi)
+            generator = make_pair_generator(gst, cfg)
 
         manager = ClusterManager(merged.n_ests)
         if self._state is not None:

@@ -27,7 +27,7 @@ from repro.core.config import ClusteringConfig
 from repro.core.results import ClusteringResult
 from repro.pairs.generator import TreePairGenerator
 from repro.pairs.pair import Pair
-from repro.pairs.sa_generator import SaPairGenerator
+from repro.pairs.batch import make_pair_generator
 from repro.sequence.collection import EstCollection
 from repro.suffix.gst import NaiveGst, SuffixArrayGst
 from repro.telemetry import Telemetry
@@ -66,7 +66,9 @@ class PaceClusterer:
         # eager part (forest building) under "sort_nodes", like Table 3.
         with tel.span("sort_nodes"):
             if cfg.backend == "suffix_array":
-                generator = SaPairGenerator(gst, psi=cfg.psi)
+                generator = make_pair_generator(
+                    gst, cfg, telemetry=tel if tel.enabled else None
+                )
             else:
                 generator = TreePairGenerator(gst, psi=cfg.psi)
 

@@ -24,7 +24,7 @@ from repro.cluster.union_find import UnionFind
 from repro.core.config import ClusteringConfig
 from repro.metrics.confusion import pair_confusion
 from repro.metrics.quality import QualityReport, quality_metrics
-from repro.pairs.sa_generator import SaPairGenerator
+from repro.pairs.batch import make_pair_generator
 from repro.sequence.collection import EstCollection
 from repro.suffix.gst import SuffixArrayGst
 
@@ -84,7 +84,7 @@ def tune_acceptance(
     ratios = sorted(ratios or [0.50 + 0.05 * k for k in range(10)])
 
     gst = gst or SuffixArrayGst.build(collection)
-    generator = SaPairGenerator(gst, psi=config.psi)
+    generator = make_pair_generator(gst, config)
     # Align every distinct candidate pair once at the permissive floor.
     floor = AcceptanceCriteria(
         min_score_ratio=ratios[0], min_overlap=config.acceptance.min_overlap

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 from repro.align.extend import PairAligner
 from repro.core.config import ClusteringConfig
-from repro.pairs.sa_generator import SaPairGenerator
+from repro.pairs.batch import make_pair_generator
 from repro.sequence.collection import EstCollection
 from repro.suffix.gst import SuffixArrayGst
 
@@ -57,7 +57,7 @@ def seed_length_acceptance(
     """
     config = config or ClusteringConfig()
     gst = gst or SuffixArrayGst.build(collection)
-    generator = SaPairGenerator(gst, psi=config.psi)
+    generator = make_pair_generator(gst, config)
     aligner = PairAligner(
         collection,
         params=config.scoring,

@@ -2,6 +2,7 @@
 backends, with the canonical pair record, duplicate-discard rules,
 on-demand batching, and a brute-force reference for property testing."""
 
+from repro.pairs.batch import VectorPairGenerator, make_pair_generator
 from repro.pairs.bruteforce import bruteforce_promising_pairs, maximal_common_substrings
 from repro.pairs.generator import TreePairGenerator
 from repro.pairs.lsets import Lsets, StringMarker
@@ -20,4 +21,6 @@ __all__ = [
     "canonical_pair",
     "PairGenStats",
     "SaPairGenerator",
+    "VectorPairGenerator",
+    "make_pair_generator",
 ]

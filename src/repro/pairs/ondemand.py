@@ -21,11 +21,15 @@ from typing import Iterable, Iterator
 from repro.pairs.pair import Pair
 from repro.telemetry import Telemetry
 
-__all__ = ["OnDemandPairGenerator", "BATCH_SIZE_BUCKETS"]
+__all__ = ["OnDemandPairGenerator", "BATCH_SIZE_BUCKETS", "DRAIN_FLUSH"]
 
 #: Histogram bounds for batch sizes: the paper sweeps batchsize over
 #: roughly 10–500 (Fig. 8), and partial end-of-stream batches go small.
 BATCH_SIZE_BUCKETS: tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500)
+
+#: Pairs per telemetry flush on the :meth:`OnDemandPairGenerator.__iter__`
+#: drain path — one registry update per chunk instead of one per pair.
+DRAIN_FLUSH = 256
 
 
 class OnDemandPairGenerator:
@@ -90,18 +94,37 @@ class OnDemandPairGenerator:
         return batch
 
     def __iter__(self) -> Iterator[Pair]:
-        """Drain the remainder of the stream."""
-        while not self._exhausted:
-            if self._pending is not None:
-                item = self._pending
-                self._pending = None
-            else:
-                try:
-                    item = next(self._it)
-                except StopIteration:
-                    self._exhausted = True
-                    return
-            self._produced += 1
-            if self._telemetry is not None:
-                self._telemetry.count("pairs.produced", 1)
-            yield item
+        """Drain the remainder of the stream.
+
+        Telemetry updates are batched: the ``pairs.produced`` counter and
+        the ``pairs.batch_size`` histogram advance once per
+        :data:`DRAIN_FLUSH` pairs (plus the partial tail), not once per
+        pair — the drain path pays a registry hit per chunk, consistent
+        with :meth:`next_batch` recording one observation per batch.
+        """
+        unflushed = 0
+        try:
+            while not self._exhausted:
+                if self._pending is not None:
+                    item = self._pending
+                    self._pending = None
+                else:
+                    try:
+                        item = next(self._it)
+                    except StopIteration:
+                        self._exhausted = True
+                        return
+                self._produced += 1
+                unflushed += 1
+                if unflushed >= DRAIN_FLUSH:
+                    self._flush_drained(unflushed)
+                    unflushed = 0
+                yield item
+        finally:
+            if unflushed:
+                self._flush_drained(unflushed)
+
+    def _flush_drained(self, n: int) -> None:
+        if self._telemetry is not None:
+            self._telemetry.count("pairs.produced", n)
+            self._telemetry.observe("pairs.batch_size", n, BATCH_SIZE_BUCKETS)

@@ -37,8 +37,15 @@ from repro.pairs.lsets import N_CLASSES
 from repro.pairs.pair import Pair, canonical_pair
 from repro.suffix.gst import SuffixArrayGst
 from repro.suffix.interval_tree import LcpForest
+from repro.telemetry import Telemetry
 
 __all__ = ["SaPairGenerator", "PairGenStats"]
+
+REITERATION_ERROR = (
+    "pairs() was already iterated: generation consumes the lset store and "
+    "accumulates into stats, so a second pass would silently corrupt the "
+    "counters — build a fresh generator instead"
+)
 
 
 @dataclass
@@ -69,6 +76,10 @@ class SaPairGenerator:
         into a single decreasing-depth order, matching the paper's
         slave-local sort (§3.2 closing paragraph: the greedy order is
         maintained per processor, not globally).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` session: the node and
+        raw-product counts are flushed into the ``pairs.nodes`` /
+        ``pairs.raw`` counters when the stream finishes (or is closed).
     """
 
     def __init__(
@@ -76,6 +87,8 @@ class SaPairGenerator:
         gst: SuffixArrayGst,
         psi: int,
         ranges: list[tuple[int, int]] | None = None,
+        *,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if psi < 1:
             raise ValueError(f"psi must be >= 1, got {psi}")
@@ -83,6 +96,8 @@ class SaPairGenerator:
         self.psi = psi
         self.ranges = ranges
         self.stats = PairGenStats()
+        self._telemetry = telemetry
+        self._consumed = False
         self._forests: list[LcpForest] = []
         if ranges is None:
             self._forests.append(gst.forest(min_depth=psi))
@@ -94,7 +109,17 @@ class SaPairGenerator:
     # ------------------------------------------------------------------ #
 
     def pairs(self) -> Iterator[Pair]:
-        """Yield canonical pairs in decreasing maximal-substring length."""
+        """Canonical pairs in decreasing maximal-substring length.
+
+        Single-use: the stream consumes the lset store, so re-iterating
+        would silently double-count ``stats`` — a second call raises.
+        """
+        if self._consumed:
+            raise RuntimeError(REITERATION_ERROR)
+        self._consumed = True
+        return self._generate()
+
+    def _generate(self) -> Iterator[Pair]:
         gst = self.gst
         # Plain-list views: element access on Python lists is several times
         # faster than numpy scalar indexing, and this loop is pure Python.
@@ -121,6 +146,24 @@ class SaPairGenerator:
         # suffix-array ranks).
         store: dict[tuple[int, int], list[list[int]]] = {}
 
+        try:
+            yield from self._sweep(order, sa, pos_string, pos_offset, left_char, marks, store)
+        finally:
+            if self._telemetry is not None:
+                self._telemetry.count("pairs.nodes", stats.nodes_processed)
+                self._telemetry.count("pairs.raw", stats.raw_pairs)
+
+    def _sweep(
+        self,
+        order: list[tuple[int, int, int]],
+        sa: list[int],
+        pos_string: list[int],
+        pos_offset: list[int],
+        left_char: list[int],
+        marks: list[int],
+        store: dict[tuple[int, int], list[list[int]]],
+    ) -> Iterator[Pair]:
+        stats = self.stats
         for uid, (neg_depth, f_idx, nid) in enumerate(order):
             depth = -neg_depth
             forest = self._forests[f_idx]

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.pairs.ondemand import OnDemandPairGenerator
+from repro.pairs.batch import VectorPairGenerator
 from repro.pairs.sa_generator import SaPairGenerator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -229,16 +230,20 @@ def reabsorb_ranges(
     psi: int,
     ranges: list[tuple[int, int]],
     batch: int = 4096,
+    engine: str = "scalar",
 ) -> tuple[int, int]:
     """Regenerate a lost slave's promising pairs inside the master.
 
     Pair generation is deterministic over ``ranges``, so this reproduces
     every pair the dead slave could ever have offered; admission filters
-    out pairs whose ESTs already share a cluster.  Returns
+    out pairs whose ESTs already share a cluster.  ``engine`` selects the
+    same pair-generation engine the lost slave was running (both produce
+    identical streams, so this only affects recovery speed).  Returns
     ``(produced, admitted)``.
     """
+    gen_cls = VectorPairGenerator if engine == "vector" else SaPairGenerator
     source = OnDemandPairGenerator(
-        SaPairGenerator(gst, psi=psi, ranges=ranges).pairs()
+        gen_cls(gst, psi=psi, ranges=ranges).pairs()
     )
     admitted = 0
     while True:

@@ -50,7 +50,7 @@ from repro.cluster.greedy import WorkCounters
 from repro.core.config import ClusteringConfig
 from repro.core.results import ClusteringResult, FaultCounters
 from repro.pairs.ondemand import OnDemandPairGenerator
-from repro.pairs.sa_generator import SaPairGenerator
+from repro.pairs.batch import make_pair_generator
 from repro.parallel.faults import (
     FaultInjector,
     FaultPlan,
@@ -138,9 +138,11 @@ def _slave_worker(
     try:
         if tel is not None:
             with tel.span("sort_nodes", actor=actor):
-                generator = SaPairGenerator(gst, psi=config.psi, ranges=ranges)
+                generator = make_pair_generator(
+                    gst, config, ranges=ranges, telemetry=tel
+                )
         else:
-            generator = SaPairGenerator(gst, psi=config.psi, ranges=ranges)
+            generator = make_pair_generator(gst, config, ranges=ranges)
         aligner = make_aligner(gst.collection, config, telemetry=tel)
         logic = SlaveLogic(
             slave_id=slave_id,
@@ -395,7 +397,11 @@ def cluster_multiprocessing(
             # Degrade: regenerate the lost slave's pairs in the master and
             # let the survivors (or the master itself) align them.
             produced, admitted = reabsorb_ranges(
-                master, gst, psi=config.psi, ranges=ranges_of[slave_id]
+                master,
+                gst,
+                psi=config.psi,
+                ranges=ranges_of[slave_id],
+                engine=config.pair_engine,
             )
             local_generated += produced
             fault_counters.pairs_reassigned += admitted

@@ -13,7 +13,12 @@ Two interchangeable backends expose the GST of the doubled string set S:
 from repro.suffix.buckets import enumerate_bucket_suffixes, sa_bucket_ranges, suffix_window_keys
 from repro.suffix.dfs_array import DfsArrayTree, from_trie
 from repro.suffix.gst import NaiveGst, SuffixArrayGst
-from repro.suffix.interval_tree import LcpForest, build_lcp_forest
+from repro.suffix.interval_tree import (
+    FlatForest,
+    LcpForest,
+    build_flat_forest,
+    build_lcp_forest,
+)
 from repro.suffix.lcp import lcp_array, lcp_kasai
 from repro.suffix.naive_tree import TrieNode, build_bucket_tree, build_gst_forest
 from repro.suffix.suffix_array import SuffixArray, build_suffix_array
@@ -27,7 +32,9 @@ __all__ = [
     "from_trie",
     "NaiveGst",
     "SuffixArrayGst",
+    "FlatForest",
     "LcpForest",
+    "build_flat_forest",
     "build_lcp_forest",
     "lcp_array",
     "lcp_kasai",

@@ -27,7 +27,12 @@ from repro.sequence.alphabet import LAMBDA
 from repro.sequence.collection import EstCollection
 from repro.suffix.buckets import sa_bucket_ranges
 from repro.suffix.dfs_array import DfsArrayTree, from_trie
-from repro.suffix.interval_tree import LcpForest, build_lcp_forest
+from repro.suffix.interval_tree import (
+    FlatForest,
+    LcpForest,
+    build_flat_forest,
+    build_lcp_forest,
+)
 from repro.suffix.lcp import lcp_array
 from repro.suffix.naive_tree import build_gst_forest
 from repro.suffix.suffix_array import SuffixArray, build_suffix_array
@@ -97,6 +102,13 @@ class SuffixArrayGst:
         """LCP forest of nodes with string-depth ≥ ``min_depth`` over ranks
         ``[lo, hi)`` (the full array by default)."""
         return build_lcp_forest(self.lcp, min_depth=min_depth, lo=lo, hi=hi)
+
+    def flat_forest(
+        self, min_depth: int, lo: int = 0, hi: int | None = None
+    ) -> FlatForest:
+        """Same forest as :meth:`forest`, built vectorised into flat CSR
+        arrays — the input form of the vectorised pair engine."""
+        return build_flat_forest(self.lcp, min_depth=min_depth, lo=lo, hi=hi)
 
     def bucket_ranges(self, w: int) -> list[tuple[int, int, int]]:
         """``(key, lo, hi)`` suffix-array ranges of the ``w``-prefix buckets

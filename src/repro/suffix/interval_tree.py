@@ -24,11 +24,58 @@ entirely inside one bucket.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from itertools import chain
 
 import numpy as np
 
-__all__ = ["LcpForest", "build_lcp_forest"]
+__all__ = ["LcpForest", "FlatForest", "build_lcp_forest", "build_flat_forest"]
+
+
+def _validate_forest_arrays(
+    depth: np.ndarray,
+    lb: np.ndarray,
+    rb: np.ndarray,
+    parent: np.ndarray,
+    children_flat: np.ndarray,
+    children_offsets: np.ndarray,
+    leaves_offsets: np.ndarray,
+) -> None:
+    """Vectorised internal-consistency checks shared by both forest forms.
+
+    Whole-array sweeps instead of a per-node Python loop, so debug runs on
+    30k-EST-scale forests cost a few milliseconds.
+    """
+    n = len(depth)
+    if n == 0:
+        return
+    cf = children_flat
+    owner = np.repeat(np.arange(n), np.diff(children_offsets))
+    if cf.size:
+        bad = ~((lb[owner] <= lb[cf]) & (rb[cf] <= rb[owner]))
+        if bad.any():
+            k = int(np.flatnonzero(bad)[0])
+            raise AssertionError(
+                f"child {int(cf[k])} not nested in node {int(owner[k])}"
+            )
+        bad = depth[cf] <= depth[owner]
+        if bad.any():
+            k = int(np.flatnonzero(bad)[0])
+            raise AssertionError(
+                f"child {int(cf[k])} not deeper than parent {int(owner[k])}"
+            )
+        bad = parent[cf] != owner
+        if bad.any():
+            k = int(np.flatnonzero(bad)[0])
+            raise AssertionError(f"parent link mismatch for {int(cf[k])}")
+    covered = np.bincount(
+        owner, weights=(rb[cf] - lb[cf] + 1).astype(np.float64), minlength=n
+    ).astype(np.int64)
+    covered += np.diff(leaves_offsets)
+    bad = covered != rb - lb + 1
+    if bad.any():
+        k = int(np.flatnonzero(bad)[0])
+        raise AssertionError(f"node {k} does not partition its interval")
 
 
 @dataclass
@@ -62,10 +109,70 @@ class LcpForest:
     children: list[list[int]]
     leaves: list[list[int]]
     min_depth: int
+    #: Lazily-built CSR mirrors of ``children``/``leaves`` (see the flat
+    #: accessors below); ``None`` until first requested.
+    _flat: tuple[np.ndarray, ...] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def n_nodes(self) -> int:
         return len(self.depth)
+
+    # -- flat (CSR) views ---------------------------------------------------
+    #
+    # The vectorised pair-generation engine and the vectorised validator
+    # traverse the forest as whole-array sweeps; per-node Python lists would
+    # force a Python loop per node.  These accessors expose the same
+    # structure as one concatenated value array plus per-node offsets:
+    # node ``v`` owns ``flat[offsets[v]:offsets[v + 1]]``, in the same
+    # left-to-right (lb) order as the lists.  Built once on first access.
+
+    def _flat_views(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        if self._flat is None:
+            n = self.n_nodes
+            c_counts = np.fromiter(
+                map(len, self.children), dtype=np.int64, count=n
+            )
+            l_counts = np.fromiter(map(len, self.leaves), dtype=np.int64, count=n)
+            children_flat = np.fromiter(
+                chain.from_iterable(self.children),
+                dtype=np.int64,
+                count=int(c_counts.sum()),
+            )
+            leaves_flat = np.fromiter(
+                chain.from_iterable(self.leaves),
+                dtype=np.int64,
+                count=int(l_counts.sum()),
+            )
+            zero = np.zeros(1, dtype=np.int64)
+            self._flat = (
+                children_flat,
+                np.concatenate((zero, np.cumsum(c_counts))),
+                leaves_flat,
+                np.concatenate((zero, np.cumsum(l_counts))),
+            )
+        return self._flat
+
+    @property
+    def children_flat(self) -> np.ndarray:
+        """All child ids concatenated in node order (CSR values)."""
+        return self._flat_views()[0]
+
+    @property
+    def children_offsets(self) -> np.ndarray:
+        """``children_flat`` offsets per node (CSR indptr, length n+1)."""
+        return self._flat_views()[1]
+
+    @property
+    def leaves_flat(self) -> np.ndarray:
+        """All directly-attached leaf ranks concatenated in node order."""
+        return self._flat_views()[2]
+
+    @property
+    def leaves_offsets(self) -> np.ndarray:
+        """``leaves_flat`` offsets per node (CSR indptr, length n+1)."""
+        return self._flat_views()[3]
 
     def roots(self) -> np.ndarray:
         """Ids of forest roots (nodes whose parent is below threshold)."""
@@ -80,19 +187,203 @@ class LcpForest:
         return np.argsort(-self.depth, kind="stable")
 
     def validate(self) -> None:
+        """Internal-consistency checks (used by tests and debug runs).
+
+        Fully vectorised over the flat CSR views so debug runs on
+        30k-EST-scale forests cost a few array sweeps, not a Python loop
+        over every node.
+        """
+        _validate_forest_arrays(
+            self.depth,
+            self.lb,
+            self.rb,
+            self.parent,
+            self.children_flat,
+            self.children_offsets,
+            self.leaves_offsets,
+        )
+
+
+@dataclass
+class FlatForest:
+    """The same forest as :class:`LcpForest`, held entirely in flat arrays.
+
+    Node ids, depths, bounds, parents and the per-node ``children`` /
+    ``leaves`` sequences are bit-identical to the list-based builder's —
+    only the container differs: children and leaves live in concatenated
+    CSR arrays (node ``v`` owns ``flat[offsets[v]:offsets[v + 1]]``).
+    This is the native input of the vectorised pair-generation engine
+    (:class:`repro.pairs.batch.VectorPairGenerator`), which never walks
+    per-node Python lists.
+    """
+
+    depth: np.ndarray
+    lb: np.ndarray
+    rb: np.ndarray
+    parent: np.ndarray
+    children_flat: np.ndarray
+    children_offsets: np.ndarray
+    leaves_flat: np.ndarray
+    leaves_offsets: np.ndarray
+    min_depth: int
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.depth)
+
+    def roots(self) -> np.ndarray:
+        """Ids of forest roots (nodes whose parent is below threshold)."""
+        return np.flatnonzero(self.parent == -1)
+
+    def nodes_by_decreasing_depth(self) -> np.ndarray:
+        """Node ids sorted by decreasing string-depth (Algorithm 1 order)."""
+        return np.argsort(-self.depth, kind="stable")
+
+    def validate(self) -> None:
         """Internal-consistency checks (used by tests and debug runs)."""
-        for nid in range(self.n_nodes):
-            for cid in self.children[nid]:
-                if not (self.lb[nid] <= self.lb[cid] and self.rb[cid] <= self.rb[nid]):
-                    raise AssertionError(f"child {cid} not nested in node {nid}")
-                if self.depth[cid] <= self.depth[nid]:
-                    raise AssertionError(f"child {cid} not deeper than parent {nid}")
-                if self.parent[cid] != nid:
-                    raise AssertionError(f"parent link mismatch for {cid}")
-            covered = sum(self.rb[c] - self.lb[c] + 1 for c in self.children[nid])
-            covered += len(self.leaves[nid])
-            if covered != self.rb[nid] - self.lb[nid] + 1:
-                raise AssertionError(f"node {nid} does not partition its interval")
+        _validate_forest_arrays(
+            self.depth,
+            self.lb,
+            self.rb,
+            self.parent,
+            self.children_flat,
+            self.children_offsets,
+            self.leaves_offsets,
+        )
+
+
+def build_flat_forest(
+    lcp: np.ndarray,
+    *,
+    min_depth: int,
+    lo: int = 0,
+    hi: int | None = None,
+) -> FlatForest:
+    """Vectorised equivalent of :func:`build_lcp_forest`.
+
+    Produces the identical forest — same node ids (emission order), same
+    parent links, same child and leaf ordering — without the per-rank
+    Python stack loop.  The construction rests on the classic enhanced
+    suffix array facts (Abouelhoda, Kurtz & Ohlebusch):
+
+    - every LCP interval is identified by the *previous/next smaller
+      value* boundaries of any position achieving its depth: position
+      ``p`` with ``v = lcp[p]`` represents the interval
+      ``[PSV(p), NSV(p) - 1]`` of depth ``v``, and all positions of one
+      interval share that (PSV, NSV) key — deduplicating the keys
+      enumerates the nodes exactly once;
+    - the direct parent of an interval ``[lb, rb]`` is the interval
+      represented by whichever boundary position (``lb`` or ``rb + 1``)
+      carries the larger LCP value;
+    - a suffix-array rank hangs as a direct leaf off the interval
+      represented by the deeper of its two adjacent LCP values.
+
+    PSV/NSV are computed by pointer doubling — ``O(log n)`` whole-array
+    jump rounds instead of a sequential stack — and the stack builder's
+    emission (pop) order is recovered as a sort by ``(rb, -depth)``:
+    intervals are popped when the scan first passes their right bound,
+    deepest first.
+    """
+    if min_depth < 1:
+        raise ValueError(f"min_depth must be >= 1, got {min_depth}")
+    lcp = np.asarray(lcp)
+    if hi is None:
+        hi = len(lcp)
+    if not 0 <= lo <= hi <= len(lcp):
+        raise ValueError(f"invalid range [{lo}, {hi}) for lcp of length {len(lcp)}")
+    n = hi - lo
+    if n <= 0:
+        raise ValueError("empty suffix-array range")
+
+    # Boundary values: position p in (0, n) separates ranks lo+p-1 and
+    # lo+p; the range edges are depth "-1" sentinels (strictly smaller
+    # than any real LCP), which is what makes every jump chain terminate.
+    val = np.empty(n + 1, dtype=np.int64)
+    val[0] = val[n] = -1
+    if n > 1:
+        val[1:n] = lcp[lo + 1 : lo + n]
+
+    # PSV/NSV by pointer doubling: each round follows the current pointer
+    # of the pointed-to position, so unresolved chain lengths double.
+    # The invariant (all skipped positions carry values >= the jumper's)
+    # keeps every intermediate stop a sound candidate.  Rounds operate on
+    # the shrinking set of still-unresolved positions only.
+    prev = np.arange(-1, n, dtype=np.int64)
+    prev[0] = 0
+    act = np.arange(1, n, dtype=np.int64)
+    while act.size:
+        act = act[val[prev[act]] >= val[act]]
+        prev[act] = prev[prev[act]]
+    nxt = np.arange(1, n + 2, dtype=np.int64)
+    nxt[n] = n
+    act = np.arange(1, n, dtype=np.int64)
+    while act.size:
+        act = act[val[nxt[act]] >= val[act]]
+        nxt[act] = nxt[nxt[act]]
+
+    # One node per unique (PSV, NSV) key among qualifying positions.
+    qual = np.flatnonzero(val >= min_depth)
+    key = prev[qual] * (n + 1) + nxt[qual]
+    ukey, first = np.unique(key, return_index=True)
+    m = ukey.size
+    depth_u = val[qual[first]]
+    lb_u = lo + ukey // (n + 1)
+    rb_u = lo + ukey % (n + 1) - 1
+    order = np.lexsort((-depth_u, rb_u))  # the stack builder's pop order
+    rank_of = np.empty(m, dtype=np.int64)
+    rank_of[order] = np.arange(m)
+    depth = depth_u[order]
+    lb = lb_u[order]
+    rb = rb_u[order]
+
+    # Parent: the interval of the deeper bounding position, when it
+    # still clears the threshold; forest roots otherwise.
+    bl = val[ukey // (n + 1)]
+    br = val[ukey % (n + 1)]
+    pid_u = np.full(m, -1, dtype=np.int64)
+    haspar = np.flatnonzero(np.maximum(bl, br) >= min_depth)
+    if haspar.size:
+        q = np.where(
+            bl[haspar] >= br[haspar],
+            ukey[haspar] // (n + 1),
+            ukey[haspar] % (n + 1),
+        )
+        pid_u[haspar] = rank_of[np.searchsorted(ukey, prev[q] * (n + 1) + nxt[q])]
+    parent = np.empty(m, dtype=np.int64)
+    parent[rank_of] = pid_u
+
+    zero = np.zeros(1, dtype=np.int64)
+    nonroot = np.flatnonzero(parent >= 0)
+    children_flat = nonroot[np.lexsort((lb[nonroot], parent[nonroot]))]
+    children_offsets = np.concatenate(
+        (zero, np.cumsum(np.bincount(parent[nonroot], minlength=m)))
+    )
+
+    # Leaves: each rank attaches to the interval of the deeper of its two
+    # adjacent boundary values (when >= threshold); grouped by owner with
+    # the stable sort preserving ascending rank within a node.
+    r_all = np.arange(n)
+    dl = val[r_all]
+    dr = val[r_all + 1]
+    attached = np.flatnonzero(np.maximum(dl, dr) >= min_depth)
+    ql = np.where(dl[attached] >= dr[attached], attached, attached + 1)
+    owner = rank_of[np.searchsorted(ukey, prev[ql] * (n + 1) + nxt[ql])]
+    leaves_flat = attached[np.argsort(owner, kind="stable")] + lo
+    leaves_offsets = np.concatenate(
+        (zero, np.cumsum(np.bincount(owner, minlength=m)))
+    )
+
+    return FlatForest(
+        depth=depth,
+        lb=lb,
+        rb=rb,
+        parent=parent,
+        children_flat=children_flat,
+        children_offsets=children_offsets,
+        leaves_flat=leaves_flat,
+        leaves_offsets=leaves_offsets,
+        min_depth=min_depth,
+    )
 
 
 def build_lcp_forest(

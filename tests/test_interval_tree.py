@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sequence import EstCollection
-from repro.suffix import build_lcp_forest, build_suffix_array
+from repro.suffix import build_flat_forest, build_lcp_forest, build_suffix_array
 from repro.suffix.lcp import lcp_array
 
 dna_lists = st.lists(st.text(alphabet="ACGT", min_size=1, max_size=25), min_size=1, max_size=4)
@@ -128,3 +128,109 @@ class TestForestRanges:
             build_lcp_forest(lcp, min_depth=1, lo=3, hi=2)
         with pytest.raises(ValueError):
             build_lcp_forest(lcp, min_depth=1, lo=2, hi=9)
+
+
+class TestFlatViews:
+    """CSR mirrors of the per-node children/leaves lists."""
+
+    @given(dna_lists, st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_flat_views_match_lists(self, seqs, min_depth):
+        forest, _ = _forest_for(seqs, min_depth)
+        co, lo = forest.children_offsets, forest.leaves_offsets
+        assert co[0] == 0 and lo[0] == 0
+        assert len(co) == len(lo) == forest.n_nodes + 1
+        for v in range(forest.n_nodes):
+            assert forest.children_flat[co[v] : co[v + 1]].tolist() == forest.children[v]
+            assert forest.leaves_flat[lo[v] : lo[v + 1]].tolist() == forest.leaves[v]
+
+    def test_flat_views_are_cached(self):
+        forest, _ = _forest_for(["ACGTACGT", "ACGTAC"], 2)
+        assert forest.children_flat is forest.children_flat
+        assert forest.leaves_offsets is forest.leaves_offsets
+
+
+class TestFlatBuilder:
+    """`build_flat_forest` must reproduce the stack builder bit-for-bit:
+    same node ids (emission order), parents, child and leaf ordering."""
+
+    @staticmethod
+    def _assert_same(list_forest, flat_forest):
+        assert np.array_equal(list_forest.depth, flat_forest.depth)
+        assert np.array_equal(list_forest.lb, flat_forest.lb)
+        assert np.array_equal(list_forest.rb, flat_forest.rb)
+        assert np.array_equal(list_forest.parent, flat_forest.parent)
+        assert np.array_equal(list_forest.children_flat, flat_forest.children_flat)
+        assert np.array_equal(
+            list_forest.children_offsets, flat_forest.children_offsets
+        )
+        assert np.array_equal(list_forest.leaves_flat, flat_forest.leaves_flat)
+        assert np.array_equal(
+            list_forest.leaves_offsets, flat_forest.leaves_offsets
+        )
+
+    @given(dna_lists, st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_stack_builder(self, seqs, min_depth):
+        text, _ = EstCollection.from_strings(seqs).sa_text()
+        sa = build_suffix_array(text)
+        lcp = lcp_array(sa)
+        list_forest = build_lcp_forest(lcp, min_depth=min_depth)
+        flat_forest = build_flat_forest(lcp, min_depth=min_depth)
+        self._assert_same(list_forest, flat_forest)
+        flat_forest.validate()
+
+    @given(dna_lists, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_stack_builder_on_ranges(self, seqs, data):
+        text, _ = EstCollection.from_strings(seqs).sa_text()
+        sa = build_suffix_array(text)
+        lcp = lcp_array(sa)
+        lo = data.draw(st.integers(0, len(lcp) - 1))
+        hi = data.draw(st.integers(lo + 1, len(lcp)))
+        self._assert_same(
+            build_lcp_forest(lcp, min_depth=2, lo=lo, hi=hi),
+            build_flat_forest(lcp, min_depth=2, lo=lo, hi=hi),
+        )
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ValueError, match="min_depth"):
+            build_flat_forest(np.zeros(4, dtype=np.int64), min_depth=0)
+        with pytest.raises(ValueError, match="invalid range"):
+            build_flat_forest(np.zeros(4, dtype=np.int64), min_depth=1, lo=3, hi=9)
+        with pytest.raises(ValueError, match="empty"):
+            build_flat_forest(np.zeros(4, dtype=np.int64), min_depth=1, lo=2, hi=2)
+
+
+class TestVectorisedValidate:
+    """validate() is now whole-array sweeps; the failure messages must
+    still name the first offending node."""
+
+    def test_detects_broken_parent_link(self):
+        forest, _ = _forest_for(["ACGTACGT", "ACGTACG", "ACGTAC"], 2)
+        assert forest.children_flat.size > 0
+        child = int(forest.children_flat[0])
+        forest.parent[child] = child  # corrupt
+        with pytest.raises(AssertionError, match="parent link|not nested|not deeper"):
+            forest.validate()
+
+    def test_detects_partition_violation(self):
+        forest, _ = _forest_for(["ACGTACGT", "ACGTACG"], 2)
+        # Drop a leaf from some node that has one.
+        for v in range(forest.n_nodes):
+            if forest.leaves[v]:
+                forest.leaves[v] = forest.leaves[v][1:]
+                break
+        else:
+            pytest.skip("no directly-attached leaves in this forest")
+        with pytest.raises(AssertionError, match="does not partition"):
+            forest.validate()
+
+    def test_flat_forest_validate_detects_corruption(self):
+        text, _ = EstCollection.from_strings(["ACGTACGT", "ACGTAC"]).sa_text()
+        sa = build_suffix_array(text)
+        forest = build_flat_forest(lcp_array(sa), min_depth=2)
+        if forest.children_flat.size:
+            forest.depth[forest.children_flat[0]] = 0
+            with pytest.raises(AssertionError):
+                forest.validate()

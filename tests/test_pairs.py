@@ -211,3 +211,47 @@ class TestOnDemand:
         assert hist["count"] == 3  # batches of 3, 3 and the partial 1
         assert hist["sum"] == 7.0
         assert tel.registry.get("pairs.produced") == 7
+
+    def test_drain_batches_telemetry_updates(self):
+        # The __iter__ drain path flushes the registry once per
+        # DRAIN_FLUSH-pair chunk (plus the tail), not once per pair.
+        from repro.pairs.ondemand import DRAIN_FLUSH
+        from repro.telemetry import Telemetry
+
+        n = 2 * DRAIN_FLUSH + 13
+        tel = Telemetry()
+        gen = OnDemandPairGenerator(iter(range(n)), telemetry=tel)
+        assert list(gen) == list(range(n))
+        assert tel.registry.get("pairs.produced") == n
+        hist = tel.registry.snapshot()["histograms"]["pairs.batch_size"]
+        assert hist["count"] == 3  # two full chunks + the tail of 13
+        assert hist["sum"] == n
+
+    def test_drain_flushes_tail_on_abandonment(self):
+        # Breaking out of the drain mid-chunk must still account the
+        # pairs already handed out (generator close runs the finally).
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry()
+        gen = OnDemandPairGenerator(iter(range(50)), telemetry=tel)
+        for i, _item in enumerate(gen):
+            if i == 9:
+                break
+        del gen  # closes the suspended drain generator
+        assert tel.registry.get("pairs.produced") == 10
+
+    def test_drain_counts_match_batch_path(self):
+        # Whichever way a stream is consumed, pairs.produced agrees.
+        from repro.telemetry import Telemetry
+
+        tel_a, tel_b = Telemetry(), Telemetry()
+        a = OnDemandPairGenerator(iter(range(301)), telemetry=tel_a)
+        while not a.exhausted:
+            a.next_batch(40)
+        b = OnDemandPairGenerator(iter(range(301)), telemetry=tel_b)
+        list(b)
+        assert (
+            tel_a.registry.get("pairs.produced")
+            == tel_b.registry.get("pairs.produced")
+            == 301
+        )

@@ -1,0 +1,250 @@
+"""The vectorised pair engine against its scalar oracle.
+
+`VectorPairGenerator` must be a pure performance layer: for any input it
+yields the *exact* pair sequence of `SaPairGenerator` — same multiset and
+same order within and across depths — with identical `PairGenStats` and
+telemetry counters.  These tests pin that contract down with hypothesis
+driving random overlapping collections (including reverse-complement
+duplicates) across ψ edge values, mirroring tests/test_batch_align.py.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ClusteringConfig, PaceClusterer
+from repro.pairs import (
+    OnDemandPairGenerator,
+    SaPairGenerator,
+    VectorPairGenerator,
+    make_pair_generator,
+)
+from repro.pairs.batch import PAIR_BLOCK_SIZE
+from repro.pairs.sa_generator import REITERATION_ERROR
+from repro.sequence import EstCollection
+from repro.suffix import SuffixArrayGst
+from repro.telemetry import Telemetry
+
+from test_pair_generation import _random_overlapping_collection
+
+seeds = st.integers(0, 10**6)
+
+
+def _both_streams(col: EstCollection, psi: int, **vector_kwargs):
+    gst = SuffixArrayGst.build(col)
+    scalar = SaPairGenerator(gst, psi)
+    vector = VectorPairGenerator(gst, psi, **vector_kwargs)
+    return scalar, vector, list(scalar.pairs()), list(vector.pairs())
+
+
+class TestCrossEngineEquivalence:
+    @given(seeds, st.integers(2, 8), st.integers(4, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_identical_streams_random_collections(self, seed, n, psi):
+        """Same pairs, same order — not just the same set."""
+        rng = np.random.default_rng(seed)
+        col = _random_overlapping_collection(rng, n)
+        _, _, s, v = _both_streams(col, psi)
+        assert s == v
+
+    @given(seeds, st.integers(2, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_reverse_complement_duplicates(self, seed, n):
+        """Collections where every read also appears reverse-complemented
+        exercise the Lemma 4 complemented-pair discard heavily."""
+        rng = np.random.default_rng(seed)
+        base = _random_overlapping_collection(rng, n)
+        seqs = []
+        for i in range(base.n_ests):
+            s = base.est(i)
+            seqs.append(s.copy())
+            seqs.append((3 - s)[::-1].copy())
+        col = EstCollection(seqs)
+        _, _, s, v = _both_streams(col, 5)
+        assert s == v
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_psi_edge_values(self, seed):
+        """ψ = 1 (every depth qualifies) and ψ beyond the longest read
+        (empty forest) are the boundary regimes of forest construction."""
+        rng = np.random.default_rng(seed)
+        col = _random_overlapping_collection(rng, 4)
+        for psi in (1, 2, 200):
+            _, _, s, v = _both_streams(col, psi)
+            assert s == v
+
+    @given(seeds, st.integers(2, 6), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_ranges_partition_parity(self, seed, n, parts):
+        """The slave path: generation restricted to rank sub-ranges."""
+        rng = np.random.default_rng(seed)
+        col = _random_overlapping_collection(rng, n)
+        gst = SuffixArrayGst.build(col)
+        hi = len(gst.sa_struct.sa)
+        cuts = sorted({int(c) for c in rng.integers(0, hi + 1, size=parts - 1)})
+        bounds = [0, *cuts, hi]
+        ranges = list(zip(bounds[:-1], bounds[1:]))
+        s = list(SaPairGenerator(gst, 4, ranges=ranges).pairs())
+        v = list(VectorPairGenerator(gst, 4, ranges=ranges).pairs())
+        assert s == v
+
+    @given(seeds, st.integers(2, 7))
+    @settings(max_examples=30, deadline=None)
+    def test_stats_parity(self, seed, n):
+        """All four public PairGenStats counters agree after a full drain
+        (nodes, raw products, emitted pairs, and the peak-lset high-water
+        mark of the paper's space claim)."""
+        rng = np.random.default_rng(seed)
+        col = _random_overlapping_collection(rng, n)
+        scalar, vector, s, v = _both_streams(col, 5)
+        assert s == v
+        assert scalar.stats == vector.stats
+
+    @given(seeds, st.integers(1, 17))
+    @settings(max_examples=20, deadline=None)
+    def test_block_size_does_not_change_the_stream(self, seed, block_size):
+        rng = np.random.default_rng(seed)
+        col = _random_overlapping_collection(rng, 5)
+        _, _, s, v = _both_streams(col, 4, block_size=block_size)
+        assert s == v
+
+
+class TestGuards:
+    def test_scalar_raises_on_reiteration(self):
+        rng = np.random.default_rng(0)
+        gst = SuffixArrayGst.build(_random_overlapping_collection(rng, 3))
+        gen = SaPairGenerator(gst, 5)
+        list(gen.pairs())
+        with pytest.raises(RuntimeError, match="already iterated"):
+            gen.pairs()
+
+    def test_vector_raises_on_reiteration(self):
+        rng = np.random.default_rng(0)
+        gst = SuffixArrayGst.build(_random_overlapping_collection(rng, 3))
+        gen = VectorPairGenerator(gst, 5)
+        list(gen.pairs())
+        with pytest.raises(RuntimeError, match="already iterated"):
+            gen.pairs()
+
+    def test_iter_protocol_hits_the_same_guard(self):
+        rng = np.random.default_rng(1)
+        gst = SuffixArrayGst.build(_random_overlapping_collection(rng, 3))
+        for gen in (SaPairGenerator(gst, 5), VectorPairGenerator(gst, 5)):
+            list(iter(gen))
+            with pytest.raises(RuntimeError, match="already iterated"):
+                iter(gen)
+
+    def test_guard_message_is_shared(self):
+        assert "already iterated" in REITERATION_ERROR
+
+    def test_vector_rejects_bad_parameters(self):
+        rng = np.random.default_rng(2)
+        gst = SuffixArrayGst.build(_random_overlapping_collection(rng, 3))
+        with pytest.raises(ValueError, match="psi"):
+            VectorPairGenerator(gst, 0)
+        with pytest.raises(ValueError, match="block_size"):
+            VectorPairGenerator(gst, 5, block_size=0)
+
+
+class TestTelemetryParity:
+    def _drain_with_telemetry(self, gen_cls, gst, psi):
+        tel = Telemetry()
+        gen = gen_cls(gst, psi, telemetry=tel)
+        pairs = list(gen.pairs())
+        return pairs, tel.registry.snapshot()
+
+    def test_counters_match_scalar_engine(self):
+        rng = np.random.default_rng(7)
+        gst = SuffixArrayGst.build(_random_overlapping_collection(rng, 8))
+        s_pairs, s_snap = self._drain_with_telemetry(SaPairGenerator, gst, 4)
+        v_pairs, v_snap = self._drain_with_telemetry(VectorPairGenerator, gst, 4)
+        assert s_pairs == v_pairs
+        s_counters = {
+            k: v for k, v in s_snap["counters"].items() if k.startswith("pairs.")
+        }
+        v_counters = {
+            k: v
+            for k, v in v_snap["counters"].items()
+            if k.startswith("pairs.") and k != "pairs.block_size"
+        }
+        assert s_counters == v_counters
+        assert s_counters["pairs.nodes"] > 0
+
+    def test_vector_engine_records_block_size_histogram(self):
+        rng = np.random.default_rng(8)
+        gst = SuffixArrayGst.build(_random_overlapping_collection(rng, 8))
+        tel = Telemetry()
+        gen = VectorPairGenerator(gst, 4, block_size=3, telemetry=tel)
+        n_pairs = len(list(gen.pairs()))
+        hist = tel.registry.snapshot()["histograms"]["pairs.block_size"]
+        assert hist["count"] >= 1
+        assert hist["sum"] == n_pairs
+
+    def test_flush_happens_on_early_close(self):
+        """Abandoning the stream mid-way still flushes pairs.nodes/raw."""
+        rng = np.random.default_rng(9)
+        gst = SuffixArrayGst.build(_random_overlapping_collection(rng, 8))
+        tel = Telemetry()
+        gen = VectorPairGenerator(gst, 4, telemetry=tel)
+        it = gen.pairs()
+        next(it)
+        it.close()
+        counters = tel.registry.snapshot()["counters"]
+        assert "pairs.nodes" in counters and "pairs.raw" in counters
+
+
+class TestFactory:
+    def test_selects_engine_from_config(self):
+        rng = np.random.default_rng(3)
+        gst = SuffixArrayGst.build(_random_overlapping_collection(rng, 3))
+        cfg_s = ClusteringConfig.small_reads(psi=6, pair_engine="scalar")
+        cfg_v = ClusteringConfig.small_reads(psi=6, pair_engine="vector")
+        assert isinstance(make_pair_generator(gst, cfg_s), SaPairGenerator)
+        gen = make_pair_generator(gst, cfg_v)
+        assert isinstance(gen, VectorPairGenerator)
+        assert gen.psi == 6
+        assert gen.block_size == PAIR_BLOCK_SIZE
+
+    def test_config_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="pair_engine"):
+            ClusteringConfig(pair_engine="simd")
+
+    def test_config_rejects_vector_on_tree_backend(self):
+        with pytest.raises(ValueError, match="suffix_array"):
+            ClusteringConfig(backend="tree", pair_engine="vector")
+
+
+class TestPipelineIntegration:
+    def test_clusters_identical_across_engines(self):
+        """End-to-end: the sequential pipeline produces the same partition
+        (and the same pair counters) under either engine."""
+        rng = np.random.default_rng(11)
+        col = _random_overlapping_collection(rng, 20)
+        results = {}
+        for engine in ("scalar", "vector"):
+            cfg = ClusteringConfig.small_reads(w=4, psi=8, pair_engine=engine)
+            tel = Telemetry()
+            res = PaceClusterer(cfg).cluster(col, telemetry=tel)
+            counters = tel.registry.snapshot()["counters"]
+            results[engine] = (
+                res.labels(),
+                counters.get("pairs.nodes"),
+                counters.get("pairs.raw"),
+            )
+        assert results["scalar"] == results["vector"]
+
+    def test_vector_stream_through_ondemand_wrapper(self):
+        """The chunked emission must preserve on-demand batch semantics."""
+        rng = np.random.default_rng(12)
+        gst = SuffixArrayGst.build(_random_overlapping_collection(rng, 10))
+        reference = list(SaPairGenerator(gst, 4).pairs())
+        source = OnDemandPairGenerator(
+            VectorPairGenerator(gst, 4, block_size=5).pairs()
+        )
+        got = []
+        while not source.exhausted:
+            got.extend(source.next_batch(7))
+        assert got == reference
+        assert source.produced == len(reference)
