@@ -20,8 +20,14 @@ from repro.align.scoring import AcceptanceCriteria
 from repro.core import ClusteringConfig
 from repro.simulate import BenchmarkParams, EstBenchmark, make_benchmark
 from repro.suffix import SuffixArrayGst
+from repro.util.logging import get_logger
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Structured diagnostics for the bench harness (tables still go to stdout —
+#: they are the product; this logger carries the side-channel "where did my
+#: results file go" notes that used to be bare prints in the bench scripts).
+log = get_logger(actor="bench")
 
 #: Paper dataset size -> scaled number of genes (×~10 ESTs per gene).
 #: The paper's quality table uses n ∈ {10,051; 30,000; 60,018; 81,414};
@@ -97,7 +103,9 @@ def _fmt(v) -> str:
 
 def save_table(name: str, lines: list[str]) -> None:
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text("\n".join(lines) + "\n")
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text("\n".join(lines) + "\n")
+    log.info("results table written", bench=name, path=str(path))
 
 
 def save_telemetry(name: str, snapshot) -> None:
@@ -108,4 +116,6 @@ def save_telemetry(name: str, snapshot) -> None:
     from repro.telemetry import export_jsonl
 
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    export_jsonl(snapshot, RESULTS_DIR / f"{name}.jsonl")
+    path = RESULTS_DIR / f"{name}.jsonl"
+    export_jsonl(snapshot, path)
+    log.info("telemetry written", bench=name, path=str(path))

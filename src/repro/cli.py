@@ -6,9 +6,12 @@ the equivalent driver surface::
     pace-est cluster ests.fa -o clusters.tsv --psi 25 --min-overlap 40
     pace-est cluster ests.fa --parallel 8 --machine simulated
     pace-est cluster ests.fa --parallel 4 --telemetry-out trace.jsonl
+    pace-est cluster ests.fa --parallel 4 --monitor-port 9100 --live-out live.jsonl
     pace-est simulate bench.fa --genes 20 --coverage 10 --truth truth.tsv
     pace-est evaluate clusters.tsv truth.tsv
     pace-est report trace.jsonl
+    pace-est monitor http://127.0.0.1:9100 --watch 2
+    pace-est monitor live.jsonl
 
 ``cluster`` writes a two-column TSV (EST name, cluster id) and, with
 ``--telemetry-out``, the run's full telemetry stream as JSONL;
@@ -17,7 +20,13 @@ the equivalent driver surface::
 assignment files; ``report`` validates a telemetry JSONL file and
 reconstructs the paper-shaped measurements from it (per-phase times in
 Table 3's components, per-slave utilisation, the Fig. 8 master-busy
-fraction, counters/histograms, fault accounting).
+fraction, counters/histograms, fault accounting); ``monitor`` renders a
+live progress table from a running cluster's ``--monitor-port`` endpoint
+or replays a finished run's ``--live-out`` JSONL stream.
+
+Diagnostics go through :mod:`repro.util.logging` (structured one-line
+``key=value`` records on stderr); data output — cluster TSVs, reports,
+tables — still writes plainly to stdout.
 """
 
 from __future__ import annotations
@@ -40,8 +49,11 @@ from repro.telemetry import (
     summarise,
     validate_records,
 )
+from repro.util.logging import get_logger, new_run_id
 
 __all__ = ["main", "build_parser"]
+
+_log = get_logger(actor="cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -80,6 +92,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="record spans, metrics and the machine trace; "
                         "write them as JSONL here (summarise with "
                         "'pace-est report')")
+    c.add_argument("--monitor-port", type=int, metavar="PORT",
+                   help="serve live run state over HTTP on 127.0.0.1:PORT "
+                        "(/metrics Prometheus text, /healthz, /state JSON; "
+                        "0 = OS-assigned)")
+    c.add_argument("--monitor-interval", type=float, default=1.0, metavar="S",
+                   help="live sample interval in seconds (default 1.0)")
+    c.add_argument("--live-out", type=Path, metavar="JSONL",
+                   help="stream live progress/resource samples here as "
+                        "they happen (replay with 'pace-est monitor')")
+    c.add_argument("--monitor-linger", type=float, default=0.0, metavar="S",
+                   help="keep the monitor endpoint serving the final "
+                        "state for S seconds after the run completes")
 
     s = sub.add_parser("simulate", help="generate a synthetic EST benchmark")
     s.add_argument("fasta", type=Path, help="output FASTA")
@@ -101,6 +125,17 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("trace", type=Path, help="JSONL file from --telemetry-out")
     r.add_argument("--timeline", type=int, default=0, metavar="N",
                    help="also print the first N machine-trace events")
+
+    m = sub.add_parser(
+        "monitor",
+        help="render a live progress table from a monitor endpoint or a "
+             "--live-out JSONL stream",
+    )
+    m.add_argument("target",
+                   help="endpoint URL (http://host:port) or live JSONL path")
+    m.add_argument("--watch", type=float, default=0.0, metavar="S",
+                   help="refresh every S seconds until the run finishes "
+                        "(endpoint targets only; 0 = render once)")
 
     return parser
 
@@ -132,22 +167,48 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         ),
     )
     telemetry = Telemetry() if args.telemetry_out else None
-    if args.parallel:
-        result = run_parallel(
-            collection,
-            config,
-            n_processors=args.parallel,
-            machine=args.machine,
-            telemetry=telemetry,
+    monitor = None
+    if args.monitor_port is not None or args.live_out is not None:
+        from repro.telemetry import RunMonitor
+
+        run_id = new_run_id()
+        monitor = RunMonitor(
+            port=args.monitor_port,
+            live_out=args.live_out,
+            interval=args.monitor_interval,
+            run_id=run_id,
         )
+        log = _log.bind(run=run_id)
     else:
-        result = PaceClusterer(config).cluster(collection, telemetry=telemetry)
+        log = _log
+    log.info(
+        "clustering",
+        ests=collection.n_ests,
+        parallel=args.parallel or None,
+        machine=args.machine if args.parallel else "sequential",
+    )
+    try:
+        if args.parallel:
+            result = run_parallel(
+                collection,
+                config,
+                n_processors=args.parallel,
+                machine=args.machine,
+                telemetry=telemetry,
+                monitor=monitor,
+            )
+        else:
+            result = PaceClusterer(config).cluster(
+                collection, telemetry=telemetry, monitor=monitor
+            )
+    finally:
+        if monitor is not None:
+            monitor.close(linger=args.monitor_linger)
 
     if args.telemetry_out:
         n_records = export_jsonl(result.telemetry, args.telemetry_out)
-        print(
-            f"wrote {n_records} telemetry records to {args.telemetry_out}",
-            file=sys.stderr,
+        log.info(
+            "telemetry written", records=n_records, path=args.telemetry_out
         )
 
     print(result.summary(), file=sys.stderr)
@@ -220,10 +281,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ),
         args.fasta,
     )
-    print(
-        f"wrote {bench.n_ests} ESTs ({bench.collection.total_chars:,} bases, "
-        f"{len(bench.genes)} genes) to {args.fasta}",
-        file=sys.stderr,
+    _log.info(
+        "benchmark written",
+        ests=bench.n_ests,
+        bases=bench.collection.total_chars,
+        genes=len(bench.genes),
+        path=args.fasta,
     )
     if args.truth:
         args.truth.write_text(
@@ -232,7 +295,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             )
             + "\n"
         )
-        print(f"wrote ground truth to {args.truth}", file=sys.stderr)
+        _log.info("ground truth written", path=args.truth)
     return 0
 
 
@@ -260,7 +323,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     problems = validate_records(records)
     if problems:
         for problem in problems:
-            print(f"schema: {problem}", file=sys.stderr)
+            _log.error("schema problem", detail=problem)
         raise SystemExit(f"{args.trace}: {len(problems)} schema problem(s)")
     print(summarise(records))
     if args.timeline:
@@ -282,6 +345,36 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fetch_state(url: str) -> dict:
+    import json
+    from urllib.request import urlopen
+
+    with urlopen(url.rstrip("/") + "/state", timeout=10) as resp:
+        return json.loads(resp.read().decode())
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.telemetry import render_progress_table, replay_live_records
+
+    if args.target.startswith(("http://", "https://")):
+        while True:
+            state = _fetch_state(args.target)
+            print(render_progress_table(state))
+            if args.watch <= 0 or state.get("finished"):
+                return 0
+            time.sleep(args.watch)
+            print()
+    records = load_jsonl(Path(args.target))
+    problems = validate_records(records)
+    for problem in problems:
+        _log.warning("schema problem", detail=problem)
+    state = replay_live_records(records)
+    print(render_progress_table(state.as_dict()))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "cluster":
@@ -292,6 +385,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_evaluate(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "monitor":
+        return _cmd_monitor(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

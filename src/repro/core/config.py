@@ -56,6 +56,13 @@ class ClusteringConfig:
     workbuf_capacity: int = 4096
     #: Capacity of each slave's PAIRBUF, in pairs (§3.3).
     pairbuf_capacity: int = 1024
+    #: Live run monitor HTTP port (``/metrics``, ``/healthz``, ``/state``).
+    #: ``None`` disables monitoring entirely (the hot paths stay untouched);
+    #: ``0`` binds an OS-assigned port.
+    monitor_port: int | None = None
+    #: Live monitor sample interval in seconds (per-slave resource/progress
+    #: samples and master status lines).  Ignored when monitoring is off.
+    monitor_interval: float = 1.0
 
     def __post_init__(self) -> None:
         check_positive("w", self.w)
@@ -64,6 +71,9 @@ class ClusteringConfig:
         check_positive("align_batch", self.align_batch, strict=False)
         check_positive("workbuf_capacity", self.workbuf_capacity)
         check_positive("pairbuf_capacity", self.pairbuf_capacity)
+        if self.monitor_port is not None:
+            check_positive("monitor_port", self.monitor_port, strict=False)
+        check_positive("monitor_interval", self.monitor_interval)
         if self.psi < self.w:
             raise ValueError(
                 f"psi ({self.psi}) must be >= w ({self.w}): buckets split the "

@@ -18,7 +18,8 @@ clustering see :mod:`repro.core.incremental`.
 
 from __future__ import annotations
 
-from typing import Iterable
+import time
+from typing import Iterable, Iterator
 
 from repro.align.batch import make_aligner
 from repro.cluster.greedy import WorkCounters, greedy_cluster, greedy_cluster_batched
@@ -31,6 +32,8 @@ from repro.pairs.batch import make_pair_generator
 from repro.sequence.collection import EstCollection
 from repro.suffix.gst import NaiveGst, SuffixArrayGst
 from repro.telemetry import Telemetry
+from repro.telemetry.live import LiveSample, ResourceSampler
+from repro.telemetry.monitor import RunMonitor
 from repro.util.timing import TimingBreakdown
 
 __all__ = ["PaceClusterer"]
@@ -49,11 +52,24 @@ class PaceClusterer:
         collection: EstCollection,
         *,
         telemetry: Telemetry | None = None,
+        monitor: RunMonitor | None = None,
     ) -> ClusteringResult:
-        """Cluster a collection end to end."""
+        """Cluster a collection end to end.
+
+        ``monitor`` (or ``config.monitor_port``) attaches a live run
+        monitor: the single sequential worker reports as "slave 0", with
+        progress read from the pair generator's resumable position, by
+        sampling inside the pair stream at the monitor's interval.
+        """
         cfg = self.config
         tel = telemetry if telemetry is not None else Telemetry(enabled=False)
         timings = TimingBreakdown(registry=tel.registry)
+        owns_monitor = False
+        if monitor is None and cfg.monitor_port is not None:
+            monitor = RunMonitor(
+                port=cfg.monitor_port, interval=cfg.monitor_interval
+            )
+            owns_monitor = True
 
         with tel.span("gst_construction", n_ests=collection.n_ests):
             if cfg.backend == "suffix_array":
@@ -77,10 +93,18 @@ class PaceClusterer:
         )
         manager = ClusterManager(collection.n_ests)
         counters = WorkCounters()
+
+        pair_stream: Iterable[Pair] = generator.pairs()
+        if monitor is not None:
+            monitor.begin_run(1, engine="sequential", clock="wall")
+            pair_stream = self._monitored_stream(
+                pair_stream, generator, manager, monitor
+            )
+
         with tel.span("alignment"):
             if cfg.align_batch:
                 greedy_cluster_batched(
-                    generator.pairs(),
+                    pair_stream,
                     aligner,
                     manager,
                     batch_size=cfg.batchsize,
@@ -89,12 +113,18 @@ class PaceClusterer:
                 )
             else:
                 greedy_cluster(
-                    generator.pairs(),
+                    pair_stream,
                     aligner,
                     manager,
                     skip_clustered=cfg.skip_clustered,
                     counters=counters,
                 )
+
+        if monitor is not None:
+            monitor.set_master(merges=len(manager.merges))
+            monitor.finish()
+            if owns_monitor:
+                monitor.close()
 
         snapshot = None
         if telemetry is not None:
@@ -109,6 +139,51 @@ class PaceClusterer:
             merges=list(manager.merges),
             telemetry=snapshot,
         )
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _monitored_stream(
+        stream: Iterable[Pair],
+        generator,
+        manager: ClusterManager,
+        monitor: RunMonitor,
+    ) -> Iterator[Pair]:
+        """Wrap the pair stream so the sequential run samples itself at
+        the monitor's interval (suffix-array generators expose resumable
+        forest positions; the tree generator reports counters only)."""
+        sampler = ResourceSampler()
+        t0 = time.monotonic()
+        forests = getattr(generator, "_forests", None)
+        total_nodes = max(1, sum(f.n_nodes for f in forests)) if forests else 0
+        last = 0.0
+        produced = 0
+        for pair in stream:
+            produced += 1
+            wall = time.monotonic()
+            if wall - last >= monitor.interval:
+                last = wall
+                ts = wall - t0
+                monitor.on_sample(
+                    LiveSample(
+                        slave_id=0,
+                        ts=ts,
+                        rss_bytes=sampler.rss_bytes(),
+                        cpu_seconds=sampler.cpu_seconds(),
+                        pairs_generated=produced,
+                        gen_position=(
+                            min(
+                                1.0,
+                                generator.stats.nodes_processed / total_nodes,
+                            )
+                            if total_nodes
+                            else 0.0
+                        ),
+                    )
+                )
+                monitor.set_master(ts=ts, merges=len(manager.merges))
+                monitor.maybe_report(ts)
+            yield pair
 
     # ------------------------------------------------------------------ #
 

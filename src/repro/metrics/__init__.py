@@ -3,7 +3,11 @@ element-count memory accounting behind the paper's space claims."""
 
 from repro.metrics.confusion import PairConfusion, labels_from_clusters, pair_confusion
 from repro.metrics.heuristic import SeedLengthBin, seed_length_acceptance
-from repro.metrics.memory import MemoryLedger, MemoryModel
+from repro.metrics.memory import (
+    MemoryLedger,
+    MemoryModel,
+    measured_peak_rss_bytes,
+)
 from repro.metrics.quality import QualityReport, assess_clustering, quality_metrics
 
 __all__ = [
@@ -14,6 +18,7 @@ __all__ = [
     "pair_confusion",
     "MemoryLedger",
     "MemoryModel",
+    "measured_peak_rss_bytes",
     "QualityReport",
     "assess_clustering",
     "quality_metrics",

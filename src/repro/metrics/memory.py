@@ -6,13 +6,30 @@ reproduce those statements without depending on CPython allocator details,
 this module counts data-structure elements (pairs buffered, lset entries,
 suffixes stored) and converts to bytes with explicit per-element sizes,
 the way one sizes a C implementation.
+
+:func:`measured_peak_rss_bytes` puts the *measured* interpreter
+high-water mark (``VmHWM`` via the live monitor's resource sampler) next
+to the model estimate, and :meth:`MemoryLedger.comparison` formats the
+two side by side.  The measured number includes everything the model
+deliberately excludes — interpreter, numpy buffers, code — so the
+interesting quantity is the delta and how it scales, not the absolute
+match (EXPERIMENTS.md records both for the 30k corpus).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["MemoryModel", "MemoryLedger"]
+__all__ = ["MemoryModel", "MemoryLedger", "measured_peak_rss_bytes"]
+
+
+def measured_peak_rss_bytes() -> int:
+    """This process's measured peak RSS in bytes (``VmHWM`` on Linux,
+    ``ru_maxrss`` elsewhere) — the number to place beside
+    :meth:`MemoryLedger.peak_bytes`."""
+    from repro.telemetry.live import ResourceSampler
+
+    return ResourceSampler().peak_rss_bytes()
 
 
 @dataclass(frozen=True)
@@ -67,3 +84,28 @@ class MemoryLedger:
 
     def peak_megabytes(self) -> float:
         return self.peak_bytes() / (1024 * 1024)
+
+    def comparison(self, measured_bytes: int | None = None) -> str:
+        """The model estimate next to the measured interpreter peak.
+
+        ``measured_bytes`` defaults to this process's current high-water
+        mark.  The measured value bounds the model from above by
+        construction (the model counts algorithm elements only); the
+        delta is the interpreter + numpy overhead the paper's C
+        implementation would not pay.
+        """
+        if measured_bytes is None:
+            measured_bytes = measured_peak_rss_bytes()
+        model = self.peak_bytes()
+        delta = measured_bytes - model
+        lines = [
+            f"model estimate (C-equivalent elements): "
+            f"{model / (1024 * 1024):8.1f} MiB",
+            f"measured peak RSS (interpreter):        "
+            f"{measured_bytes / (1024 * 1024):8.1f} MiB",
+            f"delta (runtime + numpy overhead):       "
+            f"{delta / (1024 * 1024):8.1f} MiB",
+        ]
+        if model > 0:
+            lines.append(f"measured / model ratio: {measured_bytes / model:.1f}x")
+        return "\n".join(lines)

@@ -65,6 +65,8 @@ from repro.parallel.trace import TraceEvent, TraceRecorder
 from repro.sequence.collection import EstCollection
 from repro.suffix.gst import SuffixArrayGst
 from repro.telemetry import Telemetry
+from repro.telemetry.live import MASTER_ID, LiveSample, ResourceSampler
+from repro.telemetry.monitor import RunMonitor
 from repro.telemetry.registry import DEFAULT_BUCKETS
 from repro.util.timing import TimingBreakdown
 
@@ -116,6 +118,8 @@ def _slave_worker(
     fault_plan: FaultPlan | None = None,
     incarnation: int = 0,
     telemetry_origin: float | None = None,
+    sample_interval: float | None = None,
+    sample_origin: float = 0.0,
 ) -> None:
     """Slave process main: bootstrap, then request/response until stop.
 
@@ -124,6 +128,16 @@ def _slave_worker(
     offsets directly comparable to the master's, since ``CLOCK_MONOTONIC``
     is machine-wide — and ships everything back inside its final
     :class:`_SlaveStats`.
+
+    ``sample_interval`` (set only when a :class:`RunMonitor` is attached)
+    switches on live sampling: at most once per interval, a
+    :class:`LiveSample` is pushed down the pipe immediately before the
+    next protocol message.  Samples ride the existing pipe as
+    low-priority messages the master absorbs without replying, so the
+    strict reply/message alternation is untouched — and because sampling
+    is inline with the main loop (no thread), a hung slave stops
+    sampling, which is exactly what straggler detection wants to see.
+    With ``sample_interval=None`` no sampling code runs at all.
 
     Any exception in pair generation or alignment is reported as a typed
     :class:`_SlaveError` message before exiting nonzero — a silent death
@@ -151,11 +165,41 @@ def _slave_worker(
             batchsize=config.batchsize,
             pairbuf_capacity=config.pairbuf_capacity,
         )
+        sampler = ResourceSampler() if sample_interval is not None else None
+        last_sample = 0.0
+        if sampler is not None:
+            # The resumable position: processed nodes over owned nodes
+            # (both generator engines walk their LCP-interval forests
+            # node-by-node and count, so this is exact and free to read).
+            total_nodes = sum(f.n_nodes for f in generator._forests) or 1
+
+        def live_sample() -> LiveSample:
+            return LiveSample(
+                slave_id=slave_id,
+                ts=time.monotonic() - sample_origin,
+                incarnation=incarnation,
+                rss_bytes=sampler.rss_bytes(),
+                cpu_seconds=sampler.cpu_seconds(),
+                pairs_generated=logic.generator.produced,
+                alignments=logic.total_alignments,
+                dp_cells=logic.total_dp_cells,
+                pairbuf_depth=len(logic.pairbuf),
+                gen_position=min(
+                    1.0, generator.stats.nodes_processed / total_nodes
+                ),
+                exhausted=logic.generator.exhausted,
+            )
+
         t_start = tel.now() if tel is not None else 0.0
         out = logic.bootstrap()
         if tel is not None:
             tel.trace.compute(actor, t_start, tel.now(), "bootstrap")
         while True:
+            if sampler is not None:
+                wall = time.monotonic()
+                if wall - last_sample >= sample_interval:
+                    last_sample = wall
+                    conn.send(live_sample())
             injector.before_send()
             if tel is not None:
                 tel.trace.send(
@@ -176,6 +220,8 @@ def _slave_worker(
             if tel is not None:
                 tel.trace.compute(actor, t_start, tel.now(), "step")
             if out is None:
+                if sampler is not None:
+                    conn.send(live_sample())  # final counters, exhausted flag
                 if tel is not None:
                     tel.trace.send(actor, tel.now(), "final stats")
                 conn.send(
@@ -225,6 +271,7 @@ def cluster_multiprocessing(
     tolerance: FaultTolerance | None = None,
     trace: TraceRecorder | None = None,
     telemetry: Telemetry | None = None,
+    monitor: RunMonitor | None = None,
 ) -> ClusteringResult:
     """Cluster with 1 master process + ``n_processors - 1`` slave processes.
 
@@ -234,12 +281,20 @@ def cluster_multiprocessing(
     (optional) records the full instrumented run — phase spans, metrics,
     and a send/recv/compute/fault timeline assembled from the master's
     recorder plus the per-slave recorders forwarded over the result pipes
-    — and snapshots it onto ``result.telemetry``.
+    — and snapshots it onto ``result.telemetry``; ``monitor`` (optional,
+    or created here when ``config.monitor_port`` is set) streams live
+    per-slave progress and resource samples while the run executes.
     """
     if n_processors < 2:
         raise ValueError("the parallel machine needs a master and >= 1 slave")
     config = config or ClusteringConfig()
     tolerance = tolerance or FaultTolerance()
+    owns_monitor = False
+    if monitor is None and config.monitor_port is not None:
+        monitor = RunMonitor(
+            port=config.monitor_port, interval=config.monitor_interval
+        )
+        owns_monitor = True
     tel = telemetry if telemetry is not None else Telemetry(enabled=False)
     rec = tel.trace if tel.enabled else None
     timings = TimingBreakdown(registry=tel.registry)
@@ -258,6 +313,20 @@ def cluster_multiprocessing(
 
     ctx = mp.get_context("fork")
     t0 = time.monotonic()
+    if monitor is not None:
+        monitor.begin_run(
+            n_slaves,
+            engine="multiprocessing",
+            clock="wall",
+            # Flag stragglers well before the fault deadline declares
+            # them dead (sampling pauses with the slave, so staleness is
+            # the same signal the deadline machinery keys on).
+            straggler_after=max(
+                2 * config.monitor_interval, tolerance.slave_timeout / 2
+            ),
+        )
+        master_sampler = ResourceSampler()
+        last_master_sample = 0.0
     live: dict[int, _SlaveHandle] = {}
     all_procs: list[mp.process.BaseProcess] = []
     all_conns: list[Connection] = []
@@ -293,6 +362,8 @@ def cluster_multiprocessing(
                 faults,
                 incarnation,
                 tel.origin if tel.enabled else None,
+                monitor.interval if monitor is not None else None,
+                t0,
             ),
             daemon=True,
         )
@@ -337,12 +408,20 @@ def cluster_multiprocessing(
                 deaths.add(waiter_id)
 
     def handle_msg(handle: _SlaveHandle, msg, deaths: set[int]) -> None:
+        if monitor is not None and isinstance(msg, LiveSample):
+            # Low-priority sample: absorb without a reply and without
+            # touching ``expecting_since`` — a wedged slave that somehow
+            # kept sampling must still trip the fault deadline.
+            monitor.on_sample(msg)
+            return
         t_recv = tel.now() if rec is not None else 0.0
         if rec is not None:
             rec.recv("master", t_recv, f"from slave{handle.slave_id}")
         if isinstance(msg, _SlaveStats):
             stats[handle.slave_id] = msg
             handle.finished = True
+            if monitor is not None:
+                monitor.slave_stopped(handle.slave_id)
             if tel.enabled:
                 # The slave's whole recorded run arrives with its final
                 # stats: timeline events, span events, metric snapshot.
@@ -353,6 +432,8 @@ def cluster_multiprocessing(
         if isinstance(msg, _SlaveError):
             fault_counters.slave_errors += 1
             record_fault(f"slave{handle.slave_id}", "reported fatal error")
+            if monitor is not None:
+                monitor.record_fault("slave_errors")
             raise SlaveFailure(handle.slave_id, msg.traceback)
         handle.expecting_since = None
         reply = master.on_message(msg)
@@ -381,6 +462,10 @@ def cluster_multiprocessing(
         record_fault(f"slave{slave_id}", "lost (crash or timeout)")
         requeued = master.slave_lost(slave_id)
         fault_counters.pairs_reassigned += requeued
+        if monitor is not None:
+            monitor.slave_lost(slave_id)  # also counts fault.slaves_lost
+            if requeued:
+                monitor.record_fault("pairs_reassigned", requeued)
         if handle.restarts < tolerance.max_restarts:
             backoff = tolerance.backoff_for(handle.restarts)
             if backoff > 0:
@@ -388,6 +473,8 @@ def cluster_multiprocessing(
             master.slave_revived(slave_id)
             live[slave_id] = spawn(slave_id, handle.restarts + 1)
             fault_counters.restarts += 1
+            if monitor is not None:
+                monitor.slave_revived(slave_id)  # also counts fault.restarts
             record_fault(
                 f"slave{slave_id}",
                 f"restarted (incarnation {handle.restarts + 1}, "
@@ -405,6 +492,8 @@ def cluster_multiprocessing(
             )
             local_generated += produced
             fault_counters.pairs_reassigned += admitted
+            if monitor is not None and admitted:
+                monitor.record_fault("pairs_reassigned", admitted)
             record_fault(
                 "master",
                 f"degraded recovery of slave{slave_id}: {requeued} in-flight "
@@ -457,6 +546,27 @@ def cluster_multiprocessing(
                     by_object[handle.proc.sentinel] = (k, "sentinel")
                 ready = wait(list(by_object), timeout=tolerance.poll_interval)
                 deaths: set[int] = set()
+
+                if monitor is not None:
+                    wall = time.monotonic()
+                    if wall - last_master_sample >= monitor.interval:
+                        last_master_sample = wall
+                        monitor.on_sample(
+                            LiveSample(
+                                slave_id=MASTER_ID,
+                                ts=wall - t0,
+                                rss_bytes=master_sampler.rss_bytes(),
+                                cpu_seconds=master_sampler.cpu_seconds(),
+                            )
+                        )
+                    monitor.set_master(
+                        ts=wall - t0,
+                        workbuf_depth=len(master.workbuf),
+                        messages=master.stats.messages,
+                        merges=master.stats.merges,
+                        pairs_dispatched=master.stats.pairs_dispatched,
+                    )
+                    monitor.maybe_report(wall - t0)
 
                 # Pipes first: a dying slave may have flushed final
                 # messages (or a typed error report) before exiting.
@@ -537,7 +647,17 @@ def cluster_multiprocessing(
                 )
             if not master.finished():  # pragma: no cover - protocol invariant
                 raise RuntimeError("runtime exited before every slave stopped")
+            if monitor is not None:
+                monitor.set_master(
+                    workbuf_depth=len(master.workbuf),
+                    messages=master.stats.messages,
+                    merges=master.stats.merges,
+                    pairs_dispatched=master.stats.pairs_dispatched,
+                )
+                monitor.finish(time.monotonic() - t0)
     finally:
+        if monitor is not None and owns_monitor:
+            monitor.close()
         for conn in all_conns:
             try:
                 conn.close()

@@ -26,6 +26,7 @@ from repro.parallel.sim_machine import SimulatedMachine, SimulationReport
 from repro.sequence.collection import EstCollection
 from repro.suffix.gst import SuffixArrayGst
 from repro.telemetry import Telemetry
+from repro.telemetry.monitor import RunMonitor
 
 __all__ = ["simulate_clustering", "run_parallel"]
 
@@ -40,6 +41,7 @@ def simulate_clustering(
     faults: FaultPlan | None = None,
     tolerance: FaultTolerance | None = None,
     telemetry: Telemetry | None = None,
+    monitor: RunMonitor | None = None,
 ) -> SimulationReport:
     """Run one simulated parallel clustering and return its full report.
 
@@ -58,6 +60,7 @@ def simulate_clustering(
         faults=faults,
         tolerance=tolerance,
         telemetry=telemetry,
+        monitor=monitor,
     )
     return machine.run()
 
@@ -72,11 +75,13 @@ def run_parallel(
     faults: FaultPlan | None = None,
     tolerance: FaultTolerance | None = None,
     telemetry: Telemetry | None = None,
+    monitor: RunMonitor | None = None,
 ) -> ClusteringResult:
     """Parallel clustering with either engine, returning the result object
     (for the simulated engine, timings are virtual seconds).  ``telemetry``
     instruments the run on either engine with the same span names and
-    event schema (the sim-vs-mp parity tests hold the engines to this)."""
+    event schema (the sim-vs-mp parity tests hold the engines to this).
+    ``monitor`` attaches a live run monitor to either engine."""
     if machine == "simulated":
         return simulate_clustering(
             collection,
@@ -86,6 +91,7 @@ def run_parallel(
             faults=faults,
             tolerance=tolerance,
             telemetry=telemetry,
+            monitor=monitor,
         ).result
     if machine == "multiprocessing":
         return cluster_multiprocessing(
@@ -95,5 +101,6 @@ def run_parallel(
             faults=faults,
             tolerance=tolerance,
             telemetry=telemetry,
+            monitor=monitor,
         )
     raise ValueError(f"unknown machine {machine!r} (simulated|multiprocessing)")

@@ -32,7 +32,19 @@ from repro.telemetry.registry import (
     Histogram,
     MetricsRegistry,
 )
+from repro.telemetry.live import (
+    LiveRunState,
+    LiveSample,
+    ResourceSampler,
+    replay_live_records,
+)
+from repro.telemetry.monitor import (
+    RunMonitor,
+    render_progress_table,
+    render_prometheus,
+)
 from repro.telemetry.sinks import (
+    ACCEPTED_SCHEMAS,
     SCHEMA_VERSION,
     TABLE3_ORDER,
     export_jsonl,
@@ -62,7 +74,15 @@ __all__ = [
     "render_timeline",
     "utilisation",
     "SCHEMA_VERSION",
+    "ACCEPTED_SCHEMAS",
     "TABLE3_ORDER",
+    "LiveSample",
+    "LiveRunState",
+    "ResourceSampler",
+    "replay_live_records",
+    "RunMonitor",
+    "render_prometheus",
+    "render_progress_table",
     "snapshot_records",
     "export_jsonl",
     "load_jsonl",

@@ -11,7 +11,13 @@ kinds (the full schema is documented in DESIGN.md §5b):
 - ``trace`` — machine events (``event`` ∈ send/recv/compute/fault) with
   ``ts``/``end`` interval bounds and the owning ``actor``;
 - ``metric`` — final instrument values (``metric`` ∈
-  counter/gauge/histogram).
+  counter/gauge/histogram);
+- ``live`` — a streamed per-actor resource/progress sample (schema /2,
+  written by the run monitor's ``--live-out`` stream; timestamps are
+  monotone *per actor*, not globally, because slaves sample
+  independently and their messages interleave in arrival order);
+- ``live_state`` — a streamed master-side aggregate (progress, queue
+  depths, fault counters) with a ``finished`` flag on the last one.
 
 :func:`validate_records` is the schema check the CI smoke job and the
 round-trip tests run; :func:`summarise` reconstructs the paper-shaped
@@ -31,6 +37,7 @@ from repro.telemetry.spans import SPAN_PREFIX, SPAN_SUFFIX, TelemetrySnapshot
 
 __all__ = [
     "SCHEMA_VERSION",
+    "ACCEPTED_SCHEMAS",
     "TABLE3_ORDER",
     "snapshot_records",
     "export_jsonl",
@@ -39,7 +46,11 @@ __all__ = [
     "summarise",
 ]
 
-SCHEMA_VERSION = "repro-telemetry/1"
+SCHEMA_VERSION = "repro-telemetry/2"
+
+#: Schema revisions this reader accepts.  /1 is the PR 2 post-run trace
+#: format; /2 adds the streamed ``live``/``live_state`` record kinds.
+ACCEPTED_SCHEMAS = frozenset({"repro-telemetry/1", "repro-telemetry/2"})
 
 #: The paper's Table 3 component columns, in presentation order.  (Kept
 #: in sync with ``repro.core.results.COMPONENT_ORDER``; duplicated here so
@@ -127,16 +138,51 @@ def validate_records(records: Iterable[dict]) -> list[str]:
     head = records[0]
     if head.get("kind") != "meta":
         problems.append(f"record 0: expected a meta record, got {head.get('kind')!r}")
-    elif head.get("schema") != SCHEMA_VERSION:
+    elif head.get("schema") not in ACCEPTED_SCHEMAS:
         problems.append(
             f"record 0: unknown schema {head.get('schema')!r} "
-            f"(expected {SCHEMA_VERSION!r})"
+            f"(expected one of {sorted(ACCEPTED_SCHEMAS)})"
         )
     last_ts = None
+    live_ts: dict[str, float] = {}  # live samples are monotone per actor
+    last_state_ts = None
     for i, rec in enumerate(records[1:], 1):
         kind = rec.get("kind")
         if kind == "meta":
             problems.append(f"record {i}: duplicate meta record")
+        elif kind == "live":
+            ts, actor = rec.get("ts"), rec.get("actor")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"record {i}: bad ts {ts!r}")
+                continue
+            if not actor:
+                problems.append(f"record {i}: live sample without actor")
+                continue
+            if actor in live_ts and ts < live_ts[actor] - 1e-9:
+                problems.append(
+                    f"record {i}: live timestamps for {actor} not monotone "
+                    f"({ts} after {live_ts[actor]})"
+                )
+            live_ts[actor] = ts
+            for field in ("rss_bytes", "pairs_generated", "alignments"):
+                if rec.get(field, 0) < 0:
+                    problems.append(f"record {i}: negative {field}")
+        elif kind == "live_state":
+            ts = rec.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"record {i}: bad ts {ts!r}")
+                continue
+            if last_state_ts is not None and ts < last_state_ts - 1e-9:
+                problems.append(
+                    f"record {i}: live_state timestamps not monotone "
+                    f"({ts} after {last_state_ts})"
+                )
+            last_state_ts = ts
+            progress = rec.get("progress", 0.0)
+            if not 0.0 <= progress <= 1.0:
+                problems.append(
+                    f"record {i}: progress {progress!r} outside [0, 1]"
+                )
         elif kind in _EVENT_KINDS:
             ts = rec.get("ts")
             if not isinstance(ts, (int, float)) or ts < 0:
@@ -286,6 +332,31 @@ def summarise(records: list[dict]) -> str:
         for edge, count in zip(edges, h["counts"]):
             if count:
                 lines.append(f"  {edge:>10s}  {count}")
+
+    live = [r for r in records if r.get("kind") == "live"]
+    if live:
+        lines.append("")
+        lines.append("live samples (streamed during the run):")
+        per_actor: dict[str, list[dict]] = {}
+        for rec in live:
+            per_actor.setdefault(rec.get("actor", "?"), []).append(rec)
+        for actor in sorted(per_actor):
+            samples = per_actor[actor]
+            last = samples[-1]
+            peak_rss = max(r.get("rss_bytes", 0) for r in samples)
+            lines.append(
+                f"  {actor:<10s}  {len(samples):4d} samples  "
+                f"peak rss {peak_rss / (1024 * 1024):8.1f} MiB  "
+                f"cpu {last.get('cpu_seconds', 0.0):8.2f} s  "
+                f"pairs {last.get('pairs_generated', 0)}"
+            )
+        states = [r for r in records if r.get("kind") == "live_state"]
+        if states:
+            final = states[-1]
+            lines.append(
+                f"  final progress {final.get('progress', 0.0) * 100:.1f}% "
+                f"({'finished' if final.get('finished') else 'in flight'})"
+            )
 
     fault_counters = {
         r["name"][len("fault.") :]: r["value"]

@@ -1,0 +1,138 @@
+"""Structured logging: one-line ``key=value`` records with run context.
+
+Every diagnostic the system emits mid-run carries three context fields —
+``run`` (a short run id shared by every actor of one clustering run),
+``actor`` (``master``, ``slave3``, ``cli``, ``bench``), and ``phase``
+(the Table 3 component currently executing) — so the output of a
+parallel run greps and joins the way its telemetry JSONL does.  The
+format is deliberately boring::
+
+    2026-08-06T12:00:01.123Z INFO  run=ab12cd34 actor=master phase=alignment progress=42.0% eta=12s
+
+Built on the stdlib :mod:`logging` module (logger name ``repro``), so
+applications embedding the library can re-route or silence it with the
+standard machinery; the default handler writes to stderr and is installed
+lazily the first time a :class:`StructuredLogger` emits.
+
+This module depends only on the standard library (it sits below the
+telemetry layer, which uses it for monitor status lines).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+import time
+import uuid
+
+__all__ = ["StructuredLogger", "get_logger", "new_run_id"]
+
+_LOGGER_NAME = "repro"
+_handler_installed = False
+
+
+def new_run_id() -> str:
+    """A short random id identifying one clustering run across actors."""
+    return uuid.uuid4().hex[:8]
+
+
+class _StderrHandler(logging.StreamHandler):
+    """A stream handler that resolves ``sys.stderr`` at emit time, so
+    stderr redirection after import (pytest capture, contextlib) works."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value) -> None:
+        pass  # always dynamic; StreamHandler.__init__ tries to set it
+
+
+def _ensure_handler() -> logging.Logger:
+    """Install the default stderr handler once (idempotent, respects any
+    handler the embedding application configured first)."""
+    global _handler_installed
+    logger = logging.getLogger(_LOGGER_NAME)
+    if not _handler_installed:
+        if not logger.handlers:
+            handler = _StderrHandler()
+            handler.setFormatter(logging.Formatter("%(message)s"))
+            logger.addHandler(handler)
+            logger.setLevel(logging.INFO)
+            logger.propagate = False
+        _handler_installed = True
+    return logger
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, float):
+        text = f"{value:.4g}"
+    elif isinstance(value, bool):
+        text = "true" if value else "false"
+    else:
+        text = str(value)
+    if any(c.isspace() for c in text) or "=" in text:
+        return '"' + text.replace('"', "'") + '"'
+    return text
+
+
+def _timestamp() -> str:
+    t = time.time()
+    base = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(t))
+    return f"{base}.{int((t % 1) * 1000):03d}Z"
+
+
+class StructuredLogger:
+    """A logger bound to a set of context fields.
+
+    ``bind(**fields)`` derives a child logger with additional (or
+    overridden) context — the idiom for scoping an actor or phase::
+
+        log = get_logger(run=run_id, actor="master")
+        log.bind(phase="alignment").info("status", progress=0.42)
+    """
+
+    def __init__(self, **fields) -> None:
+        self._fields = {k: v for k, v in fields.items() if v is not None}
+        self._logger = _ensure_handler()
+
+    def bind(self, **fields) -> "StructuredLogger":
+        merged = dict(self._fields)
+        merged.update({k: v for k, v in fields.items() if v is not None})
+        return StructuredLogger(**merged)
+
+    # ------------------------------------------------------------------ #
+
+    def _emit(self, level: int, level_name: str, msg: str, fields: dict) -> None:
+        if not self._logger.isEnabledFor(level):
+            return
+        parts = [_timestamp(), f"{level_name:<5s}"]
+        for key, value in self._fields.items():
+            parts.append(f"{key}={_fmt_value(value)}")
+        if msg:
+            parts.append(f"msg={_fmt_value(msg)}")
+        for key, value in fields.items():
+            parts.append(f"{key}={_fmt_value(value)}")
+        self._logger.log(level, " ".join(parts))
+
+    def debug(self, msg: str = "", **fields) -> None:
+        self._emit(logging.DEBUG, "DEBUG", msg, fields)
+
+    def info(self, msg: str = "", **fields) -> None:
+        self._emit(logging.INFO, "INFO", msg, fields)
+
+    def warning(self, msg: str = "", **fields) -> None:
+        self._emit(logging.WARNING, "WARN", msg, fields)
+
+    def error(self, msg: str = "", **fields) -> None:
+        self._emit(logging.ERROR, "ERROR", msg, fields)
+
+
+def get_logger(**fields) -> StructuredLogger:
+    """The standard entry point: a structured logger bound to ``fields``
+    (typically ``run=``, ``actor=``, and later ``phase=`` via ``bind``)."""
+    return StructuredLogger(**fields)

@@ -1,0 +1,473 @@
+"""Tests for the live run monitor: state aggregation, Prometheus
+rendering, the HTTP endpoint, engine integration, and the
+issue-acceptance scenario — an injected-fault multiprocessing run whose
+/metrics endpoint reports the loss *before* the run completes.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import signal
+import threading
+import urllib.error
+import urllib.request
+from contextlib import contextmanager
+
+import pytest
+
+from repro.core import PaceClusterer
+from repro.parallel import (
+    FaultPlan,
+    FaultSpec,
+    FaultTolerance,
+    cluster_multiprocessing,
+    simulate_clustering,
+)
+from repro.telemetry import (
+    LiveRunState,
+    LiveSample,
+    ResourceSampler,
+    RunMonitor,
+    render_progress_table,
+    render_prometheus,
+    replay_live_records,
+    validate_records,
+)
+
+HARD_DEADLINE_S = 120
+
+
+@contextmanager
+def hard_deadline(seconds: int = HARD_DEADLINE_S):
+    """Fail (instead of hanging CI) if the body runs too long."""
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(f"monitored run exceeded {seconds}s — runtime hung")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _scrape(port: int, path: str = "/metrics") -> str:
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}", timeout=5) as r:
+        return r.read().decode()
+
+
+# --------------------------------------------------------------------- #
+# resource sampling
+# --------------------------------------------------------------------- #
+
+
+class TestResourceSampler:
+    def test_readings_are_sane(self):
+        s = ResourceSampler()
+        rss = s.rss_bytes()
+        peak = s.peak_rss_bytes()
+        assert rss > 1024 * 1024  # a CPython process is bigger than 1 MiB
+        assert peak >= rss // 2  # same order; peak can lag statm slightly
+        assert s.cpu_seconds() >= 0.0
+
+
+# --------------------------------------------------------------------- #
+# state aggregation
+# --------------------------------------------------------------------- #
+
+
+class TestLiveRunState:
+    def test_update_folds_samples(self):
+        st = LiveRunState(2, engine="test")
+        st.update(LiveSample(slave_id=0, ts=1.0, pairs_generated=5, gen_position=0.5))
+        st.update(LiveSample(slave_id=0, ts=2.0, pairs_generated=9, gen_position=0.8))
+        view = st.slaves[0]
+        assert view.samples == 2
+        assert view.pairs_generated == 9
+        assert view.last_ts == 2.0
+        assert st.now == 2.0
+        assert view.state == "running"
+        assert view.position == pytest.approx(0.8)
+
+    def test_progress_averages_and_caps(self):
+        st = LiveRunState(2, engine="test")
+        assert st.progress == 0.0
+        st.update(LiveSample(slave_id=0, ts=1.0, gen_position=1.0, exhausted=True))
+        st.update(LiveSample(slave_id=1, ts=1.0, gen_position=0.5))
+        assert st.progress == pytest.approx(0.75)
+        # Generators done but a backlog remains: held at 0.99.
+        st.update(LiveSample(slave_id=1, ts=2.0, gen_position=1.0, exhausted=True))
+        st.set_master(workbuf_depth=4)
+        assert st.progress == pytest.approx(0.99)
+        # Only finish() may claim 1.0.
+        st.set_master(workbuf_depth=0)
+        assert st.progress <= 0.999
+        st.finish(3.0)
+        assert st.progress == 1.0
+        assert st.eta_seconds() == 0.0
+        assert all(v.state == "stopped" for v in st.slaves.values())
+
+    def test_eta_proportional(self):
+        st = LiveRunState(1, engine="test")
+        st.update(LiveSample(slave_id=0, ts=10.0, gen_position=0.5))
+        assert st.eta_seconds() == pytest.approx(10.0)
+        early = LiveRunState(1, engine="test")
+        early.update(LiveSample(slave_id=0, ts=0.1, gen_position=0.01))
+        assert early.eta_seconds() is None
+
+    def test_lost_and_revived(self):
+        st = LiveRunState(2, engine="test")
+        st.slave_lost(0)
+        assert st.slaves[0].state == "lost"
+        assert st.slaves[0].position == 1.0  # cannot produce further work
+        assert st.fault_counters == {"slaves_lost": 1}
+        st.slave_revived(0)
+        assert st.slaves[0].state == "running"
+        assert st.fault_counters == {"slaves_lost": 1, "restarts": 1}
+        # A replacement incarnation's sample also clears the flag.
+        st.slave_lost(0)
+        st.update(LiveSample(slave_id=0, ts=1.0, incarnation=1))
+        assert not st.slaves[0].lost
+
+    def test_stragglers_flag_stale_running_slaves(self):
+        st = LiveRunState(2, engine="test", straggler_after=5.0)
+        st.update(LiveSample(slave_id=0, ts=1.0))
+        st.update(LiveSample(slave_id=1, ts=1.0))
+        st.set_master(ts=10.0)
+        assert st.stragglers() == [0, 1]
+        st.update(LiveSample(slave_id=1, ts=9.5))
+        assert st.stragglers() == [0]
+        st.slave_stopped(0)  # stopped slaves are never stragglers
+        assert st.stragglers() == []
+
+
+class TestReplay:
+    def test_round_trip_through_records(self):
+        meta = {
+            "kind": "meta", "schema": "repro-telemetry/2", "stream": "live",
+            "run_id": "r1", "n_processors": 3, "engine": "multiprocessing",
+            "clock": "wall",
+        }
+        records = [meta]
+        records.append(LiveSample(slave_id=0, ts=1.0, pairs_generated=4).as_record())
+        records.append(LiveSample(slave_id=1, ts=0.5, pairs_generated=2).as_record())
+        records.append(
+            {
+                "kind": "live_state", "ts": 1.5, "progress": 0.4,
+                "workbuf_depth": 2, "messages": 9, "merges": 3,
+                "faults": {"slaves_lost": 1}, "lost": [1], "finished": False,
+            }
+        )
+        st = replay_live_records(records)
+        assert st.run_id == "r1"
+        assert st.n_slaves == 2
+        assert st.slaves[0].pairs_generated == 4
+        assert st.slaves[1].lost
+        assert st.fault_counters == {"slaves_lost": 1}
+        assert not st.finished
+        # A later state record revives slave 1 and finishes the run.
+        records.append(
+            {
+                "kind": "live_state", "ts": 2.0, "progress": 1.0,
+                "workbuf_depth": 0, "messages": 12, "merges": 5,
+                "faults": {"slaves_lost": 1, "restarts": 1}, "lost": [],
+                "finished": True,
+            }
+        )
+        st = replay_live_records(records)
+        assert not st.slaves[1].lost
+        assert st.finished and st.progress == 1.0
+        assert st.merges == 5
+
+    def test_sample_record_round_trip(self):
+        s = LiveSample(
+            slave_id=3, ts=2.5, incarnation=1, rss_bytes=1000,
+            cpu_seconds=0.5, pairs_generated=7, alignments=6, dp_cells=99,
+            pairbuf_depth=2, gen_position=0.7, exhausted=False,
+        )
+        assert LiveSample.from_record(s.as_record()) == s
+        m = LiveSample(slave_id=-1, ts=1.0)
+        assert m.actor == "master"
+        assert LiveSample.from_record(m.as_record()).slave_id == -1
+
+
+# --------------------------------------------------------------------- #
+# rendering
+# --------------------------------------------------------------------- #
+
+
+def _busy_state() -> LiveRunState:
+    st = LiveRunState(2, run_id="abc123", engine="multiprocessing")
+    st.update(
+        LiveSample(
+            slave_id=0, ts=2.0, rss_bytes=50 << 20, cpu_seconds=1.5,
+            pairs_generated=100, alignments=90, gen_position=0.6,
+        )
+    )
+    st.update(LiveSample(slave_id=1, ts=2.0, gen_position=0.4))
+    st.update(LiveSample(slave_id=-1, ts=2.1, rss_bytes=60 << 20, cpu_seconds=0.3))
+    st.set_master(workbuf_depth=5, messages=40, merges=12, pairs_dispatched=80)
+    st.record_fault("slaves_lost")
+    return st
+
+
+class TestPrometheusRendering:
+    def test_metric_families(self):
+        text = render_prometheus(_busy_state())
+        assert "# TYPE pace_run_progress_ratio gauge" in text
+        assert "pace_run_finished 0" in text
+        assert "pace_workbuf_depth 5" in text
+        assert "pace_merges_total 12" in text
+        assert "pace_fault_slaves_lost_total 1" in text
+        assert 'pace_slave_pairs_generated_total{slave="0"} 100' in text
+        assert 'pace_slave_progress_ratio{slave="1"} 0.4' in text
+        assert "pace_master_rss_bytes" in text
+        # One TYPE line per family even with two labelled series.
+        assert text.count("# TYPE pace_slave_up gauge") == 1
+
+    def test_naming_conventions(self):
+        """Every metric is pace_-prefixed; counters end in _total."""
+        for line in render_prometheus(_busy_state()).splitlines():
+            if line.startswith("# TYPE "):
+                _, _, name, mtype = line.split()
+                assert name.startswith("pace_")
+                if mtype == "counter":
+                    assert name.endswith("_total")
+
+
+class TestProgressTable:
+    def test_renders_all_slaves_and_faults(self):
+        table = render_progress_table(_busy_state().as_dict())
+        assert "slave0" in table and "slave1" in table
+        assert "master" in table
+        assert "engine=multiprocessing" in table
+        assert "faults: slaves_lost=1" in table
+        assert "[" in table and "#" in table  # the progress bar
+
+    def test_finished_state(self):
+        st = _busy_state()
+        st.finish(3.0)
+        table = render_progress_table(st.as_dict())
+        assert "100.0%" in table and "finished" in table
+
+
+# --------------------------------------------------------------------- #
+# the HTTP endpoint
+# --------------------------------------------------------------------- #
+
+
+class TestEndpoint:
+    def test_serves_metrics_state_healthz(self):
+        mon = RunMonitor(port=0, interval=0.1)
+        try:
+            st = mon.begin_run(2, engine="test")
+            st.update(LiveSample(slave_id=0, ts=1.0, gen_position=0.5))
+            port = mon.port
+            assert port
+            assert "pace_up 1" in _scrape(port)
+            assert json.loads(_scrape(port, "/healthz")) == {"status": "ok"}
+            state = json.loads(_scrape(port, "/state"))
+            assert state["n_slaves"] == 2
+            assert len(state["slaves"]) == 2
+            with pytest.raises(urllib.error.HTTPError):
+                _scrape(port, "/nope")
+        finally:
+            mon.close()
+        assert mon.port is None
+
+    def test_close_is_idempotent(self):
+        mon = RunMonitor(port=0)
+        mon.begin_run(1, engine="test")
+        mon.close()
+        mon.close()
+
+    def test_live_out_stream_validates(self):
+        buf = io.StringIO()
+        mon = RunMonitor(live_out=buf, interval=0.001)
+        mon.begin_run(1, engine="test")
+        mon.on_sample(LiveSample(slave_id=0, ts=0.5, gen_position=0.5))
+        mon.maybe_report(0.6)
+        mon.finish(1.0)
+        mon.close()
+        records = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert validate_records(records) == []
+        st = replay_live_records(records)
+        assert st.finished
+        assert st.slaves[0].samples == 1
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError, match="interval"):
+            RunMonitor(interval=0.0)
+
+
+# --------------------------------------------------------------------- #
+# engine integration
+# --------------------------------------------------------------------- #
+
+
+class TestEngineIntegration:
+    def test_sequential_pipeline_reports(self, small_benchmark, small_config):
+        buf = io.StringIO()
+        mon = RunMonitor(live_out=buf, interval=0.001)
+        PaceClusterer(small_config).cluster(small_benchmark.collection, monitor=mon)
+        mon.close()
+        records = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert validate_records(records) == []
+        st = replay_live_records(records)
+        assert st.engine == "sequential"
+        assert st.finished and st.progress == 1.0
+        assert st.slaves[0].samples > 0
+
+    def test_simulated_machine_reports_virtual_time(
+        self, small_benchmark, small_config
+    ):
+        buf = io.StringIO()
+        mon = RunMonitor(live_out=buf, interval=0.05)
+        rep = simulate_clustering(
+            small_benchmark.collection, small_config, n_processors=3, monitor=mon
+        )
+        mon.close()
+        records = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert validate_records(records) == []
+        assert records[0]["clock"] == "virtual"
+        st = replay_live_records(records)
+        assert st.finished
+        # Virtual timestamps: the newest sample is within the virtual span.
+        assert 0.0 < st.now <= rep.total_time + 1e-9
+        assert set(st.slaves) == {0, 1}
+        assert all(v.samples > 0 for v in st.slaves.values())
+
+    def test_mp_run_with_endpoint(self, small_benchmark, small_config, tmp_path):
+        live = tmp_path / "live.jsonl"
+        mon = RunMonitor(port=0, live_out=live, interval=0.02)
+        with hard_deadline():
+            res = cluster_multiprocessing(
+                small_benchmark.collection,
+                small_config,
+                n_processors=3,
+                monitor=mon,
+            )
+        try:
+            final = json.loads(_scrape(mon.port, "/state"))
+        finally:
+            mon.close()
+        assert res.clusters
+        assert final["finished"] and final["progress"] == 1.0
+        assert {v["slave_id"] for v in final["slaves"]} == {0, 1}
+        records = [json.loads(line) for line in live.read_text().splitlines()]
+        assert validate_records(records) == []
+        st = replay_live_records(records)
+        assert st.finished
+        assert all(v.samples > 0 for v in st.slaves.values())
+
+
+# --------------------------------------------------------------------- #
+# the acceptance scenario: a lost slave is visible mid-run
+# --------------------------------------------------------------------- #
+
+
+class TestFaultVisibility:
+    def test_injected_fault_surfaces_on_endpoint_before_completion(
+        self, small_benchmark, small_config, tmp_path
+    ):
+        """Kill slave 0 before bootstrap; scrape /metrics continuously.
+        Some mid-run scrape (pace_run_finished 0) must already carry the
+        fault counter and per-slave progress series, and the final table
+        must render every slave."""
+        live = tmp_path / "live.jsonl"
+        mon = RunMonitor(port=0, live_out=live, interval=0.02)
+        mon.begin_run(2, engine="multiprocessing")
+        port = mon.port
+        scrapes: list[str] = []
+        stop = threading.Event()
+
+        def scraper():
+            while not stop.is_set():
+                try:
+                    scrapes.append(_scrape(port))
+                except OSError:
+                    pass
+                stop.wait(0.01)
+
+        thread = threading.Thread(target=scraper, daemon=True)
+        thread.start()
+        plan = FaultPlan.of(
+            FaultSpec(slave_id=0, kind="kill", at_message=0, incarnation=None)
+        )
+        try:
+            with hard_deadline():
+                res = cluster_multiprocessing(
+                    small_benchmark.collection,
+                    small_config,
+                    n_processors=3,
+                    faults=plan,
+                    tolerance=FaultTolerance(
+                        slave_timeout=1.0, poll_interval=0.02, max_restarts=0
+                    ),
+                    monitor=mon,
+                )
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+        assert res.faults.slaves_lost >= 1
+
+        def lost_count(text: str) -> int:
+            for line in text.splitlines():
+                if line.startswith("pace_fault_slaves_lost_total "):
+                    return int(float(line.split()[1]))
+            return 0
+
+        midrun = [s for s in scrapes if "pace_run_finished 0" in s]
+        assert midrun, "endpoint was never scraped mid-run"
+        witnessed = [s for s in midrun if lost_count(s) >= 1]
+        assert witnessed, "no mid-run scrape reported the lost slave"
+        # The same scrape carries per-slave progress and liveness series.
+        w = witnessed[-1]
+        assert 'pace_slave_progress_ratio{slave="0"}' in w
+        assert 'pace_slave_progress_ratio{slave="1"}' in w
+        assert 'pace_slave_up{slave="0"} 0' in w
+
+        final_state = json.loads(_scrape(port, "/state"))
+        mon.close()
+        assert final_state["finished"]
+        assert final_state["faults"]["slaves_lost"] >= 1
+
+        # `pace-est monitor` rendering: every slave appears in the table.
+        table = render_progress_table(final_state)
+        assert "slave0" in table and "slave1" in table
+        assert "slaves_lost=1" in table
+
+        # The streamed live file replays to the same picture.
+        records = [json.loads(line) for line in live.read_text().splitlines()]
+        assert validate_records(records) == []
+        st = replay_live_records(records)
+        assert st.fault_counters.get("slaves_lost", 0) >= 1
+        assert st.slaves[0].state == "lost"
+
+
+# --------------------------------------------------------------------- #
+# monitor CLI
+# --------------------------------------------------------------------- #
+
+
+class TestMonitorCli:
+    def test_monitor_renders_live_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        buf = io.StringIO()
+        mon = RunMonitor(live_out=buf, interval=0.001, run_id="feedbeef")
+        mon.begin_run(2, engine="test")
+        mon.on_sample(LiveSample(slave_id=0, ts=0.5, gen_position=0.5))
+        mon.on_sample(LiveSample(slave_id=1, ts=0.5, gen_position=0.25))
+        mon.finish(1.0)
+        mon.close()
+        path = tmp_path / "live.jsonl"
+        path.write_text(buf.getvalue())
+        assert main(["monitor", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "feedbeef" in out
+        assert "slave0" in out and "slave1" in out
+        assert "100.0%" in out

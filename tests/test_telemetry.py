@@ -280,6 +280,104 @@ class TestSinks:
         assert "0.00%" in text  # no ZeroDivisionError
 
 
+class TestLiveRecordValidation:
+    """Error paths of the schema-/2 streamed record kinds."""
+
+    @staticmethod
+    def _meta(**over):
+        rec = {
+            "kind": "meta", "schema": "repro-telemetry/2", "stream": "live",
+            "run_id": "r", "n_processors": 3, "engine": "multiprocessing",
+            "clock": "wall",
+        }
+        rec.update(over)
+        return rec
+
+    @staticmethod
+    def _live(actor="slave0", ts=1.0, **over):
+        rec = {
+            "kind": "live", "actor": actor, "ts": ts, "rss_bytes": 100,
+            "pairs_generated": 5, "alignments": 4,
+        }
+        rec.update(over)
+        return rec
+
+    def test_old_schema_still_accepted(self):
+        recs = snapshot_records(_sample_snapshot())
+        recs[0] = dict(recs[0], schema="repro-telemetry/1")
+        assert validate_records(recs) == []
+
+    def test_valid_live_stream(self):
+        recs = [
+            self._meta(),
+            self._live("slave0", 1.0),
+            self._live("slave1", 0.4),  # interleaved: fine across actors
+            self._live("slave0", 2.0),
+            {"kind": "live_state", "ts": 2.1, "progress": 0.5},
+            {"kind": "live_state", "ts": 3.0, "progress": 1.0, "finished": True},
+        ]
+        assert validate_records(recs) == []
+
+    def test_live_missing_actor_and_bad_ts(self):
+        recs = [self._meta(), self._live(actor=""), self._live(ts=-1.0)]
+        problems = validate_records(recs)
+        assert any("without actor" in p for p in problems)
+        assert any("bad ts" in p for p in problems)
+
+    def test_live_per_actor_ts_regression(self):
+        recs = [
+            self._meta(),
+            self._live("slave0", 2.0),
+            self._live("slave0", 1.0),  # same actor going backwards: flagged
+        ]
+        assert any(
+            "live timestamps for slave0 not monotone" in p
+            for p in validate_records(recs)
+        )
+
+    def test_live_negative_counters(self):
+        recs = [self._meta(), self._live(rss_bytes=-5, pairs_generated=-1)]
+        problems = validate_records(recs)
+        assert any("negative rss_bytes" in p for p in problems)
+        assert any("negative pairs_generated" in p for p in problems)
+
+    def test_live_state_errors(self):
+        recs = [
+            self._meta(),
+            {"kind": "live_state", "ts": 5.0, "progress": 0.5},
+            {"kind": "live_state", "ts": 4.0, "progress": 1.5},
+            {"kind": "live_state", "ts": "soon", "progress": 0.5},
+        ]
+        problems = validate_records(recs)
+        assert any("live_state timestamps not monotone" in p for p in problems)
+        assert any("outside [0, 1]" in p for p in problems)
+        assert any("bad ts" in p for p in problems)
+
+    def test_foreign_records_rejected(self):
+        recs = [self._meta(), {"kind": "prometheus_scrape", "ts": 1.0}]
+        assert any("unknown record kind" in p for p in validate_records(recs))
+
+    def test_summarise_merged_multi_slave_stream(self):
+        """A live stream interleaving master + two slaves summarises to
+        one line per actor with peak RSS and final counters."""
+        recs = [self._meta()]
+        for ts in (0.5, 1.0, 1.5):
+            recs.append(self._live("slave0", ts, rss_bytes=int(ts * 100),
+                                   pairs_generated=int(ts * 10)))
+            recs.append(self._live("slave1", ts + 0.01, rss_bytes=50))
+            recs.append(self._live("master", ts + 0.02, rss_bytes=900,
+                                   pairs_generated=0))
+        recs.append({"kind": "live_state", "ts": 2.0, "progress": 1.0,
+                     "finished": True})
+        text = summarise(recs)
+        assert "live samples (streamed during the run):" in text
+        for actor in ("master", "slave0", "slave1"):
+            assert actor in text
+        assert "3 samples" in text  # each actor sampled three times
+        assert "pairs 15" in text  # slave0's final cumulative counter
+        assert "final progress 100.0% (finished)" in text
+
+
 # --------------------------------------------------------------------- #
 # engine parity: the same workload through both engines
 # --------------------------------------------------------------------- #
