@@ -1,23 +1,29 @@
-"""Perf gates for the vectorised engines: alignment and pair generation.
+"""Perf gates for the vectorised engines and the shared-arena startup path.
 
-Two subcommands, one per engine pair, each measuring the scalar reference
-against its vectorised counterpart on the 30k-scaled dataset, verifying
-the vectorised output is *identical* (the oracle property), and writing
-the numbers as JSON.  Exits non-zero when the speedup falls below
-``--min-speedup`` — CI runs both to keep the advantages locked in, and
-the committed ``BENCH_align.json`` / ``BENCH_pairs.json`` at the repo
-root record the reference measurements.
+Three subcommands, each measuring a reference implementation against its
+optimised counterpart on the 30k-scaled dataset, verifying the optimised
+output is *identical* (the oracle property), and writing the numbers as
+JSON.  ``align`` and ``pairs`` gate engine speedups; ``startup`` gates the
+shared-memory arena spawn path: per-slave pickled payload must shrink by
+``--min-payload-ratio`` versus the legacy whole-index handoff, attach+
+construct latency must stay under ``--max-startup-seconds``, clusters must
+match the sequential oracle under both clean and injected-fault parallel
+runs, and no shared-memory segment may survive either run.  The committed
+``BENCH_align.json`` / ``BENCH_pairs.json`` / ``BENCH_startup.json`` at
+the repo root record the reference measurements.
 
 Usage::
 
     python benchmarks/perf_gate.py align --out BENCH_align.json --min-speedup 2.0
     python benchmarks/perf_gate.py pairs --out BENCH_pairs.json --min-speedup 3.0
+    python benchmarks/perf_gate.py startup --out BENCH_startup.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import pickle
 import sys
 import time
 from pathlib import Path
@@ -28,6 +34,7 @@ from repro.pairs import SaPairGenerator, VectorPairGenerator
 
 ALIGN_SCHEMA = "pace-align-gate/1"
 PAIRS_SCHEMA = "pace-pairs-gate/1"
+STARTUP_SCHEMA = "pace-startup-gate/1"
 
 
 def _measure(make_run, rounds: int) -> tuple[float, object]:
@@ -124,6 +131,145 @@ def run_pairs(args) -> int:
     return _finish(record, args, speedup, "vector pair generation")
 
 
+def run_startup(args) -> int:
+    from repro.align.batch import make_aligner
+    from repro.core import PaceClusterer
+    from repro.pairs.batch import make_pair_generator
+    from repro.pairs.ondemand import OnDemandPairGenerator
+    from repro.parallel import (
+        FaultPlan,
+        FaultSpec,
+        FaultTolerance,
+        GstArenas,
+        attach_gst,
+        cluster_multiprocessing,
+        leaked_segments,
+    )
+    from repro.parallel.partition import assign_buckets
+    from repro.parallel.shm import ArenaRegistry
+
+    config = bench_config(pair_engine="vector")
+    col = dataset(30_000).collection
+    gst = dataset_gst(30_000)
+    n_slaves = args.slaves
+    assignment = assign_buckets(gst.bucket_ranges(config.w), n_slaves)
+    ranges_of = [
+        [(lo, hi) for _key, lo, hi in assignment.per_processor[k]]
+        for k in range(n_slaves)
+    ]
+
+    # --- per-slave spawn payload: whole index vs descriptor bundle -------
+    # The fork context never pickles Process args, so the payload is
+    # measured explicitly: it is exactly what a spawn/forkserver context
+    # (or any future MPI transport) would serialise per slave.
+    legacy_bytes = max(
+        len(pickle.dumps((gst, ranges_of[k], config))) for k in range(n_slaves)
+    )
+    shared = GstArenas.create(
+        gst, ranges_of, pair_engine=config.pair_engine, psi=config.psi
+    )
+    try:
+        shared_bytes = max(
+            len(pickle.dumps((shared.bundle, ranges_of[k], config)))
+            for k in range(n_slaves)
+        )
+        ratio = legacy_bytes / shared_bytes
+
+        # --- spawn-to-first-result latency ---------------------------------
+        # Both paths run the exact slave-startup sequence in-process:
+        # deserialise the payload, materialise the gst (attach for the
+        # shared path), build generator + aligner, produce the first
+        # dispatch batch.  Measured on slave 0 (the largest range set).
+        def legacy_start():
+            g, r, c = pickle.loads(pickle.dumps((gst, ranges_of[0], config)))
+            gen = make_pair_generator(g, c, ranges=r)
+            make_aligner(g.collection, c)
+            return OnDemandPairGenerator(gen.pairs()).next_batch(c.batchsize)
+
+        def shared_start():
+            b, r, c = pickle.loads(
+                pickle.dumps((shared.bundle, ranges_of[0], config))
+            )
+            registry = ArenaRegistry()
+            try:
+                g, forests = attach_gst(b, registry, 0)
+                gen = make_pair_generator(g, c, ranges=r, forests=forests)
+                make_aligner(g.collection, c)
+                return OnDemandPairGenerator(gen.pairs()).next_batch(c.batchsize)
+            finally:
+                registry.close()
+
+        t_legacy, first_legacy = _measure(legacy_start, args.rounds)
+        t_shared, first_shared = _measure(shared_start, args.rounds)
+        if first_shared != first_legacy:
+            print(
+                "FAIL: first dispatch batch differs between attached and "
+                "deserialised startup",
+                file=sys.stderr,
+            )
+            return 2
+    finally:
+        shared.dispose()
+
+    # --- end-to-end oracle: clean and injected-fault parallel runs ------
+    seq_clusters = PaceClusterer(config).cluster(col).clusters
+    clean = cluster_multiprocessing(col, config, n_processors=n_slaves + 1)
+    plan = FaultPlan.of(
+        FaultSpec(slave_id=0, kind="kill", at_message=1, incarnation=None)
+    )
+    tol = FaultTolerance(slave_timeout=30.0, poll_interval=0.05, max_restarts=0)
+    faulted = cluster_multiprocessing(
+        col, config, n_processors=n_slaves + 1, faults=plan, tolerance=tol
+    )
+    clean_ok = clean.clusters == seq_clusters
+    fault_ok = faulted.clusters == seq_clusters and faulted.faults.slaves_lost >= 1
+    leaks = leaked_segments()
+
+    record = {
+        "schema": STARTUP_SCHEMA,
+        "dataset": 30_000,
+        "n_slaves": n_slaves,
+        "legacy_payload_bytes": legacy_bytes,
+        "shared_payload_bytes": shared_bytes,
+        "payload_ratio": round(ratio, 1),
+        "min_payload_ratio": args.min_payload_ratio,
+        "legacy_startup_seconds": round(t_legacy, 4),
+        "shared_startup_seconds": round(t_shared, 4),
+        "max_startup_seconds": args.max_startup_seconds,
+        "clean_oracle": clean_ok,
+        "fault_oracle": fault_ok,
+        "leaked_segments": leaks,
+    }
+    print(json.dumps(record, indent=2))
+    if args.out is not None:
+        args.out.write_text(json.dumps(record, indent=2) + "\n")
+
+    failures = []
+    if not clean_ok:
+        failures.append("clean parallel clusters differ from sequential oracle")
+    if not fault_ok:
+        failures.append("faulted parallel clusters differ from sequential oracle")
+    if leaks:
+        failures.append(f"leaked shared-memory segments: {leaks}")
+    if ratio < args.min_payload_ratio:
+        failures.append(
+            f"payload ratio {ratio:.1f}x < {args.min_payload_ratio:.1f}x"
+        )
+    if t_shared > args.max_startup_seconds:
+        failures.append(
+            f"shared startup {t_shared:.2f}s > {args.max_startup_seconds:.2f}s"
+        )
+    if failures:
+        for f in failures:
+            print(f"perf gate FAILED: {f}", file=sys.stderr)
+        return 1
+    print(
+        f"perf gate passed: per-slave payload {ratio:.0f}x smaller "
+        f"({legacy_bytes} -> {shared_bytes} bytes), startup {t_shared:.3f}s"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     sub = parser.add_subparsers(dest="gate", required=True)
@@ -151,6 +297,24 @@ def main(argv: list[str] | None = None) -> int:
     p_pairs.add_argument("--rounds", type=int, default=3,
                          help="timing rounds, best-of (default 3)")
     p_pairs.set_defaults(func=run_pairs)
+
+    p_start = sub.add_parser(
+        "startup", help="legacy vs shared-arena slave startup"
+    )
+    p_start.add_argument("--out", type=Path, default=None,
+                         help="write the measurement JSON here")
+    p_start.add_argument("--min-payload-ratio", type=float, default=10.0,
+                         help="fail when the per-slave pickled payload "
+                              "shrinks less than this factor (default 10)")
+    p_start.add_argument("--max-startup-seconds", type=float, default=5.0,
+                         help="fail when attach+construct+first-batch "
+                              "exceeds this (default 5.0)")
+    p_start.add_argument("--slaves", type=int, default=3,
+                         help="slave count for payload/oracle runs "
+                              "(default 3)")
+    p_start.add_argument("--rounds", type=int, default=3,
+                         help="timing rounds, best-of (default 3)")
+    p_start.set_defaults(func=run_startup)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -104,6 +104,10 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--monitor-linger", type=float, default=0.0, metavar="S",
                    help="keep the monitor endpoint serving the final "
                         "state for S seconds after the run completes")
+    c.add_argument("--no-shared-arenas", action="store_true",
+                   help="disable shared-memory arenas for the real "
+                        "multiprocessing machine (slaves then receive a "
+                        "full copy of the index, the legacy behaviour)")
 
     s = sub.add_parser("simulate", help="generate a synthetic EST benchmark")
     s.add_argument("fasta", type=Path, help="output FASTA")
@@ -162,6 +166,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         batchsize=args.batchsize,
         align_batch=args.align_batch,
         pair_engine=args.pair_engine,
+        shared_arenas=not args.no_shared_arenas,
         acceptance=AcceptanceCriteria(
             min_score_ratio=args.min_ratio, min_overlap=args.min_overlap
         ),

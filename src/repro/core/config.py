@@ -63,6 +63,13 @@ class ClusteringConfig:
     #: Live monitor sample interval in seconds (per-slave resource/progress
     #: samples and master status lines).  Ignored when monitoring is off.
     monitor_interval: float = 1.0
+    #: Publish the built index (sequence arena, suffix/LCP arrays, per-slave
+    #: flat forests) in named shared-memory segments and have slave
+    #: processes attach by descriptor instead of receiving copies — makes
+    #: per-slave spawn payload O(1) in dataset size.  Only the real
+    #: multiprocessing backend consults this; ``False`` restores the legacy
+    #: whole-object handoff.
+    shared_arenas: bool = True
 
     def __post_init__(self) -> None:
         check_positive("w", self.w)

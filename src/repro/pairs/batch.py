@@ -116,6 +116,11 @@ class VectorPairGenerator:
         flushed when the stream finishes (matching the scalar engine) and
         every emitted chunk is observed into the ``pairs.block_size``
         histogram.
+    forests:
+        Pre-built :class:`FlatForest` list to use instead of rebuilding
+        from ``gst.lcp`` — the shared-memory path, where slaves attach to
+        forests the master packed once.  Must correspond to the non-empty
+        entries of ``ranges`` in order; ``min_depth`` must equal ``psi``.
     """
 
     def __init__(
@@ -126,6 +131,7 @@ class VectorPairGenerator:
         *,
         block_size: int = PAIR_BLOCK_SIZE,
         telemetry: Telemetry | None = None,
+        forests: list[FlatForest] | None = None,
     ) -> None:
         if psi < 1:
             raise ValueError(f"psi must be >= 1, got {psi}")
@@ -139,7 +145,14 @@ class VectorPairGenerator:
         self._telemetry = telemetry
         self._consumed = False
         self._forests: list[FlatForest] = []
-        if ranges is None:
+        if forests is not None:
+            for f in forests:
+                if f.min_depth != psi:
+                    raise ValueError(
+                        f"injected forest has min_depth={f.min_depth}, psi={psi}"
+                    )
+            self._forests = list(forests)
+        elif ranges is None:
             self._forests.append(gst.flat_forest(min_depth=psi))
         else:
             for lo, hi in ranges:
@@ -414,15 +427,18 @@ def make_pair_generator(
     *,
     ranges: list[tuple[int, int]] | None = None,
     telemetry: Telemetry | None = None,
+    forests: list[FlatForest] | None = None,
 ) -> SaPairGenerator | VectorPairGenerator:
     """Engine selection for suffix-array pair generation.
 
     Mirrors :func:`repro.align.batch.make_aligner`: ``config.pair_engine``
     picks the scalar reference engine or the vectorised one; both yield
-    identical pair streams.
+    identical pair streams.  ``forests`` (vector engine only) injects
+    pre-built flat forests — e.g. shared-memory views — in place of a
+    local rebuild.
     """
     if config.pair_engine == "vector":
         return VectorPairGenerator(
-            gst, psi=config.psi, ranges=ranges, telemetry=telemetry
+            gst, psi=config.psi, ranges=ranges, telemetry=telemetry, forests=forests
         )
     return SaPairGenerator(gst, psi=config.psi, ranges=ranges, telemetry=telemetry)

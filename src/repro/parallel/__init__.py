@@ -3,6 +3,7 @@ on a deterministic discrete-event simulated multiprocessor (scaling
 studies) or on real OS processes (functional parallelism), with a fault
 layer (crash detection, restarts, degraded recovery) on top of both."""
 
+from repro.parallel.arenas import GstArenas, GstBundle, attach_gst
 from repro.parallel.cost_model import CostModel
 from repro.parallel.faults import (
     FaultInjector,
@@ -16,10 +17,17 @@ from repro.parallel.mp_backend import cluster_multiprocessing
 from repro.parallel.partition import BucketAssignment, assign_buckets
 from repro.parallel.protocol import MasterLogic, MasterMsg, SlaveLogic, SlaveMsg
 from repro.parallel.runtime import run_parallel, simulate_clustering
+from repro.parallel.shm import ArenaDescriptor, ArenaRegistry, leaked_segments
 from repro.parallel.sim_machine import SimulatedMachine, SimulationReport
 from repro.parallel.trace import TraceRecorder, render_timeline, utilisation
 
 __all__ = [
+    "ArenaDescriptor",
+    "ArenaRegistry",
+    "GstArenas",
+    "GstBundle",
+    "attach_gst",
+    "leaked_segments",
     "CostModel",
     "cluster_multiprocessing",
     "BucketAssignment",

@@ -231,6 +231,7 @@ def reabsorb_ranges(
     ranges: list[tuple[int, int]],
     batch: int = 4096,
     engine: str = "scalar",
+    forests=None,
 ) -> tuple[int, int]:
     """Regenerate a lost slave's promising pairs inside the master.
 
@@ -238,13 +239,16 @@ def reabsorb_ranges(
     every pair the dead slave could ever have offered; admission filters
     out pairs whose ESTs already share a cluster.  ``engine`` selects the
     same pair-generation engine the lost slave was running (both produce
-    identical streams, so this only affects recovery speed).  Returns
-    ``(produced, admitted)``.
+    identical streams, so this only affects recovery speed).  ``forests``
+    (vector engine only) reuses already-built flat forests — e.g. the
+    master's shared-arena copies — instead of rebuilding from the LCP
+    array.  Returns ``(produced, admitted)``.
     """
-    gen_cls = VectorPairGenerator if engine == "vector" else SaPairGenerator
-    source = OnDemandPairGenerator(
-        gen_cls(gst, psi=psi, ranges=ranges).pairs()
-    )
+    if engine == "vector":
+        gen = VectorPairGenerator(gst, psi=psi, ranges=ranges, forests=forests)
+    else:
+        gen = SaPairGenerator(gst, psi=psi, ranges=ranges)
+    source = OnDemandPairGenerator(gen.pairs())
     admitted = 0
     while True:
         pairs = source.next_batch(batch)

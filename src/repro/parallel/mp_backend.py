@@ -28,11 +28,18 @@ survivor left, finishes the remaining alignments in-process.  Either
 way the run never hangs, never loses an accepted merge, and yields the
 same clusters as the sequential driver (asserted by tests/test_faults).
 
-One engineering shortcut, documented: the suffix array is built once in
-the master and shipped to slaves, rather than each slave building only
-its bucket subtrees.  The distributed-construction cost model is exercised
-by the simulator; here the index is read-only shared state and forking
-makes the copy cheap.
+The index itself is built once in the master and *published*, not
+shipped: with ``config.shared_arenas`` (the default) every constituent
+array — sequence arena, suffix array, LCP, lookup tables, and the
+pre-built per-slave flat forests for the vector engine — lives in named
+shared-memory segments (:mod:`repro.parallel.arenas`), and slaves attach
+by descriptor on spawn.  Spawn arguments and restart/re-absorb paths then
+carry only index ranges and descriptors, making per-slave startup payload
+O(1) in dataset size (gated by ``benchmarks/perf_gate.py startup``).  The
+master owns the segments and unlinks them in its ``finally`` block, so
+neither clean completion, slave crashes, nor a KeyboardInterrupt leak
+``/dev/shm`` entries.  With ``shared_arenas=False`` the legacy
+whole-object handoff remains available for comparison.
 """
 
 from __future__ import annotations
@@ -51,6 +58,8 @@ from repro.core.config import ClusteringConfig
 from repro.core.results import ClusteringResult, FaultCounters
 from repro.pairs.ondemand import OnDemandPairGenerator
 from repro.pairs.batch import make_pair_generator
+from repro.parallel.arenas import GstArenas, GstBundle, attach_gst
+from repro.parallel.shm import ArenaRegistry
 from repro.parallel.faults import (
     FaultInjector,
     FaultPlan,
@@ -111,7 +120,7 @@ class _SlaveError:
 
 def _slave_worker(
     conn: Connection,
-    gst: SuffixArrayGst,
+    source: SuffixArrayGst | GstBundle,
     ranges: list[tuple[int, int]],
     config: ClusteringConfig,
     slave_id: int,
@@ -122,6 +131,12 @@ def _slave_worker(
     sample_origin: float = 0.0,
 ) -> None:
     """Slave process main: bootstrap, then request/response until stop.
+
+    ``source`` is either the legacy in-process :class:`SuffixArrayGst`
+    (``shared_arenas=False``) or a :class:`GstBundle` of shared-memory
+    descriptors: the slave then attaches read-only views of the master's
+    pages — including its pre-built flat forests under the vector engine —
+    instead of deserialising anything.
 
     ``telemetry_origin`` (the master session's monotonic origin) switches
     on slave-side telemetry: this process keeps its own recorder — wall
@@ -149,14 +164,20 @@ def _slave_worker(
         Telemetry(origin=telemetry_origin) if telemetry_origin is not None else None
     )
     actor = f"slave{slave_id}"
+    registry: ArenaRegistry | None = None
     try:
+        if isinstance(source, GstBundle):
+            registry = ArenaRegistry()
+            gst, forests = attach_gst(source, registry, slave_id)
+        else:
+            gst, forests = source, None
         if tel is not None:
             with tel.span("sort_nodes", actor=actor):
                 generator = make_pair_generator(
-                    gst, config, ranges=ranges, telemetry=tel
+                    gst, config, ranges=ranges, telemetry=tel, forests=forests
                 )
         else:
-            generator = make_pair_generator(gst, config, ranges=ranges)
+            generator = make_pair_generator(gst, config, ranges=ranges, forests=forests)
         aligner = make_aligner(gst.collection, config, telemetry=tel)
         logic = SlaveLogic(
             slave_id=slave_id,
@@ -235,6 +256,8 @@ def _slave_worker(
                     )
                 )
                 conn.close()
+                if registry is not None:
+                    registry.close()
                 return
     except _PIPE_ERRORS:
         # The master went away (or tore this pipe down on purpose);
@@ -246,6 +269,13 @@ def _slave_worker(
         except Exception:
             pass
         os._exit(_EXIT_ERROR)
+
+
+def _start_process(proc: mp.process.BaseProcess) -> None:
+    """Start one slave process.  A module-level seam so tests can inject
+    spawn failures (e.g. fail on the k-th of p starts) and assert the
+    partial startup state is torn down."""
+    proc.start()
 
 
 @dataclass
@@ -311,6 +341,18 @@ def cluster_multiprocessing(
         for k in range(n_slaves)
     ]
 
+    # Publish the built index once; slaves attach by descriptor.  The
+    # master owns every segment and unlinks them in the finally below.
+    shared: GstArenas | None = None
+    if config.shared_arenas:
+        with tel.span("arena_setup"):
+            shared = GstArenas.create(
+                gst, ranges_of, pair_engine=config.pair_engine, psi=config.psi
+            )
+    slave_source: SuffixArrayGst | GstBundle = (
+        shared.bundle if shared is not None else gst
+    )
+
     ctx = mp.get_context("fork")
     t0 = time.monotonic()
     if monitor is not None:
@@ -351,23 +393,30 @@ def cluster_multiprocessing(
 
     def spawn(slave_id: int, incarnation: int) -> _SlaveHandle:
         parent_conn, child_conn = ctx.Pipe()
-        proc = ctx.Process(
-            target=_slave_worker,
-            args=(
-                child_conn,
-                gst,
-                ranges_of[slave_id],
-                config,
-                slave_id,
-                faults,
-                incarnation,
-                tel.origin if tel.enabled else None,
-                monitor.interval if monitor is not None else None,
-                t0,
-            ),
-            daemon=True,
-        )
-        proc.start()
+        try:
+            proc = ctx.Process(
+                target=_slave_worker,
+                args=(
+                    child_conn,
+                    slave_source,
+                    ranges_of[slave_id],
+                    config,
+                    slave_id,
+                    faults,
+                    incarnation,
+                    tel.origin if tel.enabled else None,
+                    monitor.interval if monitor is not None else None,
+                    t0,
+                ),
+                daemon=True,
+            )
+            _start_process(proc)
+        except BaseException:
+            # A failed spawn must not leak its pipe: neither end ever
+            # reached the bookkeeping lists the finally block closes.
+            parent_conn.close()
+            child_conn.close()
+            raise
         child_conn.close()
         all_procs.append(proc)
         all_conns.append(parent_conn)
@@ -489,6 +538,9 @@ def cluster_multiprocessing(
                 psi=config.psi,
                 ranges=ranges_of[slave_id],
                 engine=config.pair_engine,
+                # Reuse the already-packed shared forests instead of
+                # rebuilding the lost slave's forests from the LCP array.
+                forests=shared.forests_for(slave_id) if shared is not None else None,
             )
             local_generated += produced
             fault_counters.pairs_reassigned += admitted
@@ -530,8 +582,17 @@ def cluster_multiprocessing(
 
     try:
         with tel.span("alignment"):
-            for k in range(n_slaves):
-                live[k] = spawn(k, 0)
+            try:
+                for k in range(n_slaves):
+                    live[k] = spawn(k, 0)
+            except BaseException:
+                # Spawning slave k failed: tear down the k-1 already
+                # running slaves (and their pipes) before propagating,
+                # so a partial startup never leaks handles.
+                for handle in live.values():
+                    reap(handle)
+                live.clear()
+                raise
 
             stall_polls = 0
             # Keep looping until the protocol is finished AND every live
@@ -668,6 +729,11 @@ def cluster_multiprocessing(
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=5)
+        # Unlink the shared segments only after every slave is gone;
+        # idempotent, and reached on clean completion, slave faults, and
+        # KeyboardInterrupt alike.
+        if shared is not None:
+            shared.dispose()
 
     # Slaves that never reported final stats (crashes) default to zeroed
     # stats and are counted explicitly, rather than silently undercounted.

@@ -86,6 +86,44 @@ class EstCollection:
         records = list(records)
         return cls.from_strings([r.sequence for r in records], [r.name for r in records])
 
+    @classmethod
+    def from_arena(
+        cls,
+        arena: np.ndarray,
+        offsets: np.ndarray,
+        names: Sequence[str] | None = None,
+    ) -> "EstCollection":
+        """Rebuild a collection around an existing ``(arena, offsets)`` pair.
+
+        The inverse of :meth:`arena`, used by slave processes to wrap
+        shared-memory views without copying: ``arena`` (``int8``, the
+        concatenated forward+RC strings) is reinterpreted in place as the
+        ``uint8`` string buffer, and becomes the collection's arena as-is.
+        Reverse complements are already interleaved in the buffer, so no
+        re-encoding happens; both views alias the caller's memory.
+        """
+        arena = np.asarray(arena)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if arena.dtype != np.int8:
+            raise ValueError(f"arena must be int8, got {arena.dtype}")
+        if len(offsets) < 3 or (len(offsets) - 1) % 2:
+            raise ValueError("offsets must have odd length >= 3 (2n + 1 entries)")
+        if int(offsets[-1]) != arena.size:
+            raise ValueError(
+                f"offsets end at {int(offsets[-1])} but arena has {arena.size} chars"
+            )
+        self = cls.__new__(cls)
+        self._n = (len(offsets) - 1) // 2
+        self._names = (
+            list(names) if names is not None else [f"EST{i}" for i in range(self._n)]
+        )
+        if len(self._names) != self._n:
+            raise ValueError(f"{len(self._names)} names for {self._n} ESTs")
+        self._offsets = offsets
+        self._buffer = arena.view(np.uint8)
+        self._arena = arena
+        return self
+
     # ------------------------------------------------------------------ #
     # sizes (paper notation: n ESTs, N total characters, l = N/n)
     # ------------------------------------------------------------------ #

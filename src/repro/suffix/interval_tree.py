@@ -29,7 +29,14 @@ from itertools import chain
 
 import numpy as np
 
-__all__ = ["LcpForest", "FlatForest", "build_lcp_forest", "build_flat_forest"]
+__all__ = [
+    "LcpForest",
+    "FlatForest",
+    "build_lcp_forest",
+    "build_flat_forest",
+    "concat_flat_forests",
+    "split_flat_forests",
+]
 
 
 def _validate_forest_arrays(
@@ -384,6 +391,99 @@ def build_flat_forest(
         leaves_offsets=leaves_offsets,
         min_depth=min_depth,
     )
+
+
+#: Array fields of :class:`FlatForest` in packing order; the offsets
+#: arrays (``*_offsets``) need the per-forest +1 entry accounted for when
+#: packing/unpacking (each forest contributes ``n_nodes + 1`` entries).
+_PACK_FIELDS = (
+    "depth",
+    "lb",
+    "rb",
+    "parent",
+    "children_flat",
+    "children_offsets",
+    "leaves_flat",
+    "leaves_offsets",
+)
+
+
+def concat_flat_forests(forests: list[FlatForest]) -> dict[str, np.ndarray]:
+    """Pack several :class:`FlatForest` instances into one set of flat arrays.
+
+    This is the shape a forest set takes inside a shared-memory segment:
+    every field concatenated across forests, plus three bounds arrays
+    recording where each forest starts — ``node_bounds`` (cumulative node
+    counts, length ``n_forests + 1``) and ``cflat_bounds`` /
+    ``lflat_bounds`` (cumulative CSR value counts).  All ids stay
+    forest-local, so :func:`split_flat_forests` can rebuild each forest as
+    pure zero-copy slices of the packed arrays.
+    """
+    zero = np.zeros(1, dtype=np.int64)
+    node_counts = np.fromiter(
+        (f.n_nodes for f in forests), dtype=np.int64, count=len(forests)
+    )
+    out: dict[str, np.ndarray] = {
+        "node_bounds": np.concatenate((zero, np.cumsum(node_counts))),
+        "cflat_bounds": np.concatenate(
+            (zero, np.cumsum([len(f.children_flat) for f in forests]))
+        ).astype(np.int64),
+        "lflat_bounds": np.concatenate(
+            (zero, np.cumsum([len(f.leaves_flat) for f in forests]))
+        ).astype(np.int64),
+    }
+    for field_name in _PACK_FIELDS:
+        parts = [np.asarray(getattr(f, field_name)) for f in forests]
+        out[field_name] = (
+            np.concatenate(parts)
+            if parts
+            else np.empty(0, dtype=np.int64)
+        )
+    return out
+
+
+def split_flat_forests(
+    arrays: dict[str, np.ndarray], min_depth: int
+) -> list[FlatForest]:
+    """Rebuild the individual forests packed by :func:`concat_flat_forests`.
+
+    Every field of every returned forest is a slice (view) of the packed
+    arrays — no copies, which is the whole point: when ``arrays`` are
+    shared-memory views, the reconstructed forests read the master's pages
+    directly.
+
+    The only subtlety is the offsets arrays: forest ``f`` with nodes
+    ``[node_bounds[f], node_bounds[f+1])`` owns ``n_nodes + 1`` offset
+    entries, so its slice is shifted by ``f`` extra sentinel entries —
+    ``[node_bounds[f] + f, node_bounds[f+1] + f + 1)`` — and rebased to
+    start at its own ``cflat``/``lflat`` origin.
+    """
+    nb = arrays["node_bounds"]
+    cb = arrays["cflat_bounds"]
+    lb_bounds = arrays["lflat_bounds"]
+    forests: list[FlatForest] = []
+    for f in range(len(nb) - 1):
+        n0, n1 = int(nb[f]), int(nb[f + 1])
+        c0, c1 = int(cb[f]), int(cb[f + 1])
+        l0, l1 = int(lb_bounds[f]), int(lb_bounds[f + 1])
+        coff = arrays["children_offsets"][n0 + f : n1 + f + 1]
+        loff = arrays["leaves_offsets"][n0 + f : n1 + f + 1]
+        # Offsets in the packed arrays are forest-local already (ids were
+        # never rebased), so the slices are usable as-is.
+        forests.append(
+            FlatForest(
+                depth=arrays["depth"][n0:n1],
+                lb=arrays["lb"][n0:n1],
+                rb=arrays["rb"][n0:n1],
+                parent=arrays["parent"][n0:n1],
+                children_flat=arrays["children_flat"][c0:c1],
+                children_offsets=coff,
+                leaves_flat=arrays["leaves_flat"][l0:l1],
+                leaves_offsets=loff,
+                min_depth=min_depth,
+            )
+        )
+    return forests
 
 
 def build_lcp_forest(

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import os
 import resource
+import sys
 import time
 from dataclasses import dataclass, field
 
@@ -59,11 +60,15 @@ def _read_statm_rss(page_size: int) -> int | None:
         return None
 
 
-def _ru_maxrss_bytes() -> int:
-    # ru_maxrss is KiB on Linux, bytes on macOS; both are close enough to
-    # "KiB unless implausibly large" for a monitoring readout.
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    return peak * 1024 if peak < 1 << 32 else peak
+def _ru_maxrss_bytes(peak: int | None = None, platform: str | None = None) -> int:
+    # ru_maxrss units are platform-defined: KiB on Linux (and the BSDs),
+    # bytes on macOS.  The old "KiB unless implausibly large" heuristic
+    # inflated any macOS reading under 4 GiB by 1024x.
+    if peak is None:
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if platform is None:
+        platform = sys.platform
+    return peak if platform == "darwin" else peak * 1024
 
 
 class ResourceSampler:

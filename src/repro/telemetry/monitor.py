@@ -339,11 +339,16 @@ class RunMonitor:
     def close(self, linger: float = 0.0) -> None:
         """Tear down the endpoint and the live sink.  ``linger`` keeps the
         endpoint scrapeable for that many seconds after the run finishes
-        (CI scrapes the final 100% state this way)."""
+        (CI scrapes the final 100% state this way).  Idempotent — engine
+        ``finally`` blocks and the CLI can both call it — and the linger
+        sleep only happens on *clean* completion: when the run died
+        (``finish()`` never ran) the caller is on an exception path and
+        must not be blocked watching a corpse."""
         if self._closed:
             return
         self._closed = True
-        if linger > 0 and self._server is not None:
+        finished = self.state is not None and self.state.finished
+        if linger > 0 and self._server is not None and finished:
             time.sleep(linger)
         if self._server is not None:
             self._server.shutdown()

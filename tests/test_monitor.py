@@ -73,6 +73,22 @@ class TestResourceSampler:
         assert peak >= rss // 2  # same order; peak can lag statm slightly
         assert s.cpu_seconds() >= 0.0
 
+    def test_ru_maxrss_is_kib_on_linux(self):
+        # getrusage reports ru_maxrss in KiB on Linux: 100 MiB -> bytes.
+        from repro.telemetry.live import _ru_maxrss_bytes
+
+        assert _ru_maxrss_bytes(102_400, platform="linux") == 100 * 1024 * 1024
+
+    def test_ru_maxrss_is_bytes_on_macos(self):
+        # ...but in bytes on macOS: the value passes through unscaled.
+        # (The old heuristic multiplied anything under 4 GiB by 1024.)
+        from repro.telemetry.live import _ru_maxrss_bytes
+
+        assert _ru_maxrss_bytes(104_857_600, platform="darwin") == 104_857_600
+        # Large Linux readings must still scale (no plausibility cutoff).
+        big = 8 * 1024 * 1024 * 1024  # an 8 TiB reading, in KiB
+        assert _ru_maxrss_bytes(big, platform="linux") == big * 1024
+
 
 # --------------------------------------------------------------------- #
 # state aggregation
@@ -283,6 +299,36 @@ class TestEndpoint:
         mon.begin_run(1, engine="test")
         mon.close()
         mon.close()
+
+    def test_close_skips_linger_when_run_never_finished(self):
+        # A run that died (finish() never ran) must not block the caller's
+        # exception path watching a dead endpoint.
+        import time
+
+        mon = RunMonitor(port=0)
+        mon.begin_run(1, engine="test")
+        t0 = time.monotonic()
+        mon.close(linger=30.0)
+        assert time.monotonic() - t0 < 5.0
+
+    def test_close_lingers_only_on_clean_completion(self):
+        import time
+
+        mon = RunMonitor(port=0)
+        mon.begin_run(1, engine="test")
+        mon.finish(1.0)
+        t0 = time.monotonic()
+        mon.close(linger=0.3)
+        assert time.monotonic() - t0 >= 0.3
+
+    def test_double_close_after_fault_path(self):
+        # The engine finally block and the CLI both call close(); the
+        # second call must be a no-op even with a linger request.
+        mon = RunMonitor(port=0)
+        mon.begin_run(1, engine="test")
+        mon.close()
+        mon.close(linger=30.0)
+        assert mon.port is None
 
     def test_live_out_stream_validates(self):
         buf = io.StringIO()

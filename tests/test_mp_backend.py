@@ -1,9 +1,13 @@
 """Tests for the real-process (multiprocessing) parallel backend."""
 
+import multiprocessing as mp
+import time
+
 import pytest
 
 from repro.core import PaceClusterer
-from repro.parallel import cluster_multiprocessing, run_parallel
+from repro.parallel import cluster_multiprocessing, leaked_segments, run_parallel
+from repro.parallel import mp_backend
 
 
 class TestMultiprocessingBackend:
@@ -36,6 +40,52 @@ class TestMultiprocessingBackend:
         )
         assert res.timings.get("gst_construction") > 0
         assert res.timings.get("alignment") > 0
+
+
+class TestSpawnFailureTeardown:
+    def test_partial_startup_is_torn_down(
+        self, small_benchmark, small_config, monkeypatch
+    ):
+        """If spawning slave k of p fails, the k-1 already-running slaves
+        and their pipes must be torn down (and the shared arenas
+        unlinked) before the error propagates — regression test for the
+        startup handle leak."""
+        real_start = mp_backend._start_process
+        calls = {"n": 0}
+
+        def failing_start(proc):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise OSError("injected spawn failure")
+            real_start(proc)
+
+        monkeypatch.setattr(mp_backend, "_start_process", failing_start)
+        with pytest.raises(OSError, match="injected spawn failure"):
+            cluster_multiprocessing(
+                small_benchmark.collection, small_config, n_processors=4
+            )
+        assert calls["n"] == 2  # the loop stopped at the failure
+        # Slave 0 was already running: the teardown must have reaped it.
+        deadline = time.monotonic() + 10
+        while mp.active_children() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert mp.active_children() == []
+        # And the published segments must be gone despite the early abort.
+        assert leaked_segments() == []
+
+    def test_failure_on_first_spawn_closes_its_pipe(
+        self, small_benchmark, small_config, monkeypatch
+    ):
+        def always_fail(proc):
+            raise OSError("no processes today")
+
+        monkeypatch.setattr(mp_backend, "_start_process", always_fail)
+        with pytest.raises(OSError, match="no processes today"):
+            cluster_multiprocessing(
+                small_benchmark.collection, small_config, n_processors=2
+            )
+        assert mp.active_children() == []
+        assert leaked_segments() == []
 
 
 class TestRunParallelFacade:
