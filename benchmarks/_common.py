@@ -14,6 +14,9 @@ benches sharing a size don't regenerate or re-index them.
 from __future__ import annotations
 
 import functools
+import os
+import platform
+import sys
 from pathlib import Path
 
 from repro.align.scoring import AcceptanceCriteria
@@ -41,6 +44,29 @@ SIZE_MAP = {
     60_018: 60,
     81_414: 83,
 }
+
+
+def bench_env() -> dict:
+    """The environment block stamped into saved benchmark baselines.
+
+    Purely descriptive — comparisons read only the measured numbers, so
+    a baseline from a different box still compares; the block answers
+    "what produced these numbers?" when a regression report surprises."""
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep today
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": numpy_version,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "executable": Path(sys.executable).name,
+    }
 
 
 @functools.lru_cache(maxsize=None)

@@ -25,7 +25,7 @@ from pathlib import Path
 
 import pytest
 
-from _common import save_table
+from _common import bench_env, save_table
 
 _TABLES: list[tuple[str, list[str]]] = []
 
@@ -111,8 +111,14 @@ def pytest_sessionfinish(session, exitstatus):
             session.exitstatus = 1
 
     if save is not None:
+        # "env" is descriptive provenance only — the compare path above
+        # iterates baseline["medians"] and never looks at it.
         save.write_text(
-            json.dumps({"schema": BASELINE_SCHEMA, "medians": medians}, indent=2)
+            json.dumps(
+                {"schema": BASELINE_SCHEMA, "medians": medians,
+                 "env": bench_env()},
+                indent=2,
+            )
             + "\n"
         )
         print(f"\nwrote benchmark baseline ({len(medians)} medians) to {save}")

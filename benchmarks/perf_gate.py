@@ -28,7 +28,7 @@ import sys
 import time
 from pathlib import Path
 
-from _common import bench_config, dataset, dataset_gst
+from _common import bench_config, bench_env, dataset, dataset_gst
 from repro.align import BatchPairAligner, PairAligner
 from repro.pairs import SaPairGenerator, VectorPairGenerator
 
@@ -96,6 +96,7 @@ def run_align(args) -> int:
         "batched_seconds": round(t_bat, 4),
         "speedup": round(speedup, 2),
         "min_speedup": args.min_speedup,
+        "env": bench_env(),
     }
     return _finish(record, args, speedup, "batched alignment")
 
@@ -127,6 +128,7 @@ def run_pairs(args) -> int:
         "vector_seconds": round(t_vec, 4),
         "speedup": round(speedup, 2),
         "min_speedup": args.min_speedup,
+        "env": bench_env(),
     }
     return _finish(record, args, speedup, "vector pair generation")
 
@@ -239,6 +241,7 @@ def run_startup(args) -> int:
         "clean_oracle": clean_ok,
         "fault_oracle": fault_ok,
         "leaked_segments": leaks,
+        "env": bench_env(),
     }
     print(json.dumps(record, indent=2))
     if args.out is not None:

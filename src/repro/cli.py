@@ -10,6 +10,8 @@ the equivalent driver surface::
     pace-est simulate bench.fa --genes 20 --coverage 10 --truth truth.tsv
     pace-est evaluate clusters.tsv truth.tsv
     pace-est report trace.jsonl
+    pace-est analyze trace.jsonl
+    pace-est diff baseline.jsonl candidate.jsonl --threshold 0.25
     pace-est monitor http://127.0.0.1:9100 --watch 2
     pace-est monitor live.jsonl
 
@@ -20,9 +22,14 @@ the equivalent driver surface::
 assignment files; ``report`` validates a telemetry JSONL file and
 reconstructs the paper-shaped measurements from it (per-phase times in
 Table 3's components, per-slave utilisation, the Fig. 8 master-busy
-fraction, counters/histograms, fault accounting); ``monitor`` renders a
-live progress table from a running cluster's ``--monitor-port`` endpoint
-or replays a finished run's ``--live-out`` JSONL stream.
+fraction, counters/histograms, fault accounting); ``analyze`` breaks a
+trace down by work-unit lifecycle stage — tail quantiles, the
+critical-path stage, per-slave imbalance and straggler hints;
+``diff`` compares two traces stage-by-stage and exits non-zero when a
+quantile regressed past the threshold (the CI latency gate); ``monitor``
+renders a live progress table from a running cluster's
+``--monitor-port`` endpoint or replays a finished run's ``--live-out``
+JSONL stream.
 
 Diagnostics go through :mod:`repro.util.logging` (structured one-line
 ``key=value`` records on stderr); data output — cluster TSVs, reports,
@@ -129,6 +136,24 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("trace", type=Path, help="JSONL file from --telemetry-out")
     r.add_argument("--timeline", type=int, default=0, metavar="N",
                    help="also print the first N machine-trace events")
+
+    a = sub.add_parser(
+        "analyze",
+        help="work-unit latency analysis of a telemetry trace: per-stage "
+             "quantiles, critical path, slave imbalance",
+    )
+    a.add_argument("trace", type=Path, help="JSONL file from --telemetry-out")
+
+    d = sub.add_parser(
+        "diff",
+        help="compare two telemetry traces stage-by-stage; exit 1 on "
+             "latency regressions past the threshold",
+    )
+    d.add_argument("baseline", type=Path, help="baseline trace JSONL")
+    d.add_argument("candidate", type=Path, help="candidate trace JSONL")
+    d.add_argument("--threshold", type=float, default=0.25, metavar="FRAC",
+                   help="relative increase counted as a regression "
+                        "(default 0.25 = +25%%)")
 
     m = sub.add_parser(
         "monitor",
@@ -350,6 +375,37 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.telemetry import analyze_trace
+
+    records = load_jsonl(args.trace)
+    problems = validate_records(records)
+    for problem in problems:
+        _log.warning("schema problem", detail=problem)
+    print(analyze_trace(records))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.telemetry import diff_traces
+
+    report, regressions = diff_traces(
+        load_jsonl(args.baseline),
+        load_jsonl(args.candidate),
+        threshold=args.threshold,
+    )
+    print(report)
+    if regressions:
+        _log.error(
+            "latency regressions",
+            n=regressions,
+            baseline=args.baseline,
+            candidate=args.candidate,
+        )
+        return 1
+    return 0
+
+
 def _fetch_state(url: str) -> dict:
     import json
     from urllib.request import urlopen
@@ -390,6 +446,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_evaluate(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "diff":
+        return _cmd_diff(args)
     if args.command == "monitor":
         return _cmd_monitor(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

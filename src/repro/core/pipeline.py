@@ -18,6 +18,7 @@ clustering see :mod:`repro.core.incremental`.
 
 from __future__ import annotations
 
+import itertools
 import time
 from typing import Iterable, Iterator
 
@@ -37,6 +38,51 @@ from repro.telemetry.monitor import RunMonitor
 from repro.util.timing import TimingBreakdown
 
 __all__ = ["PaceClusterer"]
+
+
+class _TimedAligner:
+    """Transparent aligner proxy observing per-batch ``align`` latency.
+
+    The sequential driver has no protocol steps to hang stage timings on,
+    so the aligner itself is the measurement point; every other attribute
+    (``dp_cells_total`` etc.) passes straight through."""
+
+    def __init__(self, inner, lat, now) -> None:
+        self._inner = inner
+        self._lat = lat
+        self._now = now
+
+    def align_and_decide_batch(self, pairs):
+        t0 = self._now()
+        out = self._inner.align_and_decide_batch(pairs)
+        if pairs:
+            self._lat.observe("align", self._now() - t0)
+        return out
+
+    def align_and_decide(self, pair):
+        t0 = self._now()
+        out = self._inner.align_and_decide(pair)
+        self._lat.observe("align", self._now() - t0)
+        return out
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def _timed_pair_stream(
+    stream: Iterable[Pair], lat, now, batchsize: int
+) -> Iterator[Pair]:
+    """Yield the stream unchanged while observing ``generate`` latency per
+    batchsize chunk — timing covers only the upstream pulls, never the
+    consumer's alignment work in between."""
+    it = iter(stream)
+    while True:
+        t0 = now()
+        chunk = list(itertools.islice(it, batchsize))
+        if not chunk:
+            return
+        lat.observe("generate", now() - t0)
+        yield from chunk
 
 
 class PaceClusterer:
@@ -95,10 +141,23 @@ class PaceClusterer:
         counters = WorkCounters()
 
         pair_stream: Iterable[Pair] = generator.pairs()
+        lat = tel.latency
+        if lat is not None:
+            # Sequential lifecycle = {generate, align}: time batchsize
+            # chunks of generation, and alignment via an aligner proxy.
+            pair_stream = _timed_pair_stream(
+                pair_stream, lat, tel.now, cfg.batchsize
+            )
+            aligner = _TimedAligner(aligner, lat, tel.now)
         if monitor is not None:
-            monitor.begin_run(1, engine="sequential", clock="wall")
+            if tel.enabled and not tel.run_id:
+                tel.run_id = monitor.run_id
+            t0 = time.monotonic()
+            monitor.begin_run(1, engine="sequential", clock="wall", origin=t0)
+            if tel.enabled:
+                monitor.attach_registry(tel.registry)
             pair_stream = self._monitored_stream(
-                pair_stream, generator, manager, monitor
+                pair_stream, generator, manager, monitor, t0
             )
 
         with tel.span("alignment"):
@@ -148,12 +207,15 @@ class PaceClusterer:
         generator,
         manager: ClusterManager,
         monitor: RunMonitor,
+        t0: float | None = None,
     ) -> Iterator[Pair]:
         """Wrap the pair stream so the sequential run samples itself at
         the monitor's interval (suffix-array generators expose resumable
-        forest positions; the tree generator reports counters only)."""
+        forest positions; the tree generator reports counters only).
+        ``t0`` is the run's sample origin (shared with ``begin_run`` so
+        the live stream is alignable with post-run traces)."""
         sampler = ResourceSampler()
-        t0 = time.monotonic()
+        t0 = time.monotonic() if t0 is None else t0
         forests = getattr(generator, "_forests", None)
         total_nodes = max(1, sum(f.n_nodes for f in forests)) if forests else 0
         last = 0.0

@@ -232,6 +232,7 @@ def reabsorb_ranges(
     batch: int = 4096,
     engine: str = "scalar",
     forests=None,
+    now: float | None = None,
 ) -> tuple[int, int]:
     """Regenerate a lost slave's promising pairs inside the master.
 
@@ -254,7 +255,7 @@ def reabsorb_ranges(
         pairs = source.next_batch(batch)
         if not pairs:
             break
-        admitted += master.absorb_pairs(pairs)
+        admitted += master.absorb_pairs(pairs, now=now)
     return source.produced, admitted
 
 
@@ -263,6 +264,9 @@ def drain_workbuf(master: "MasterLogic", aligner: "PairAligner") -> int:
     last-resort degraded mode when no slave survives.  Returns the number
     of alignments performed."""
     aligned = 0
+    # WORKBUF empties out-of-band here, so drop its latency timestamps
+    # wholesale — there is no dispatch to attribute the dwell time to.
+    master._workbuf_ts.clear()
     while master.workbuf:
         pair = master.workbuf.popleft()
         if master.manager.same_cluster(pair.est_a, pair.est_b):

@@ -48,7 +48,7 @@ import multiprocessing as mp
 import os
 import time
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from multiprocessing.connection import Connection, wait
 
 from repro.align.batch import make_aligner
@@ -211,6 +211,7 @@ def _slave_worker(
                 exhausted=logic.generator.exhausted,
             )
 
+        lat = tel.latency if tel is not None else None
         t_start = tel.now() if tel is not None else 0.0
         out = logic.bootstrap()
         if tel is not None:
@@ -228,6 +229,7 @@ def _slave_worker(
                     tel.now(),
                     f"to master: {out.n_results} results, {out.n_pairs} pairs",
                 )
+                out = replace(out, sent_at=tel.now())
             conn.send(out)
             injector.after_send()
             reply = conn.recv()
@@ -237,7 +239,23 @@ def _slave_worker(
                 tel.observe(
                     "slave.pairbuf_depth", len(logic.pairbuf), DEFAULT_BUCKETS
                 )
-            out = logic.step(reply)
+            if lat is not None:
+                # One message's pipe time, from the master's stamp to here
+                # (same CLOCK_MONOTONIC origin across fork).
+                if reply.sent_at >= 0:
+                    lat.observe("transit", t_start - reply.sent_at)
+                # Split the protocol step so the NEXTWORK alignment and the
+                # blocking PAIRBUF refill report as separate stages.
+                had_nextwork = bool(logic.nextwork)
+                logic.align_pending()
+                t_aligned = tel.now()
+                if had_nextwork:
+                    lat.observe("align", t_aligned - t_start)
+                out = logic.finish_step(reply)
+                if logic.last_costs.pairs_generated_blocking:
+                    lat.observe("generate", tel.now() - t_aligned)
+            else:
+                out = logic.step(reply)
             if tel is not None:
                 tel.trace.compute(actor, t_start, tel.now(), "step")
             if out is None:
@@ -356,10 +374,18 @@ def cluster_multiprocessing(
     ctx = mp.get_context("fork")
     t0 = time.monotonic()
     if monitor is not None:
+        if tel.enabled and not tel.run_id:
+            # One id across the live stream and the post-run trace, so
+            # `pace-est analyze` can join them.
+            tel.run_id = monitor.run_id
         monitor.begin_run(
             n_slaves,
             engine="multiprocessing",
             clock="wall",
+            # Live sample ts values are offsets from t0; publishing the
+            # raw monotonic origin lets analyze re-align them with the
+            # telemetry trace's own origin.
+            origin=t0,
             # Flag stragglers well before the fault deadline declares
             # them dead (sampling pauses with the slave, so staleness is
             # the same signal the deadline machinery keys on).
@@ -367,6 +393,9 @@ def cluster_multiprocessing(
                 2 * config.monitor_interval, tolerance.slave_timeout / 2
             ),
         )
+        if tel.enabled:
+            # Latency quantiles appear as gauges on /metrics.
+            monitor.attach_registry(tel.registry)
         master_sampler = ResourceSampler()
         last_master_sample = 0.0
     live: dict[int, _SlaveHandle] = {}
@@ -378,7 +407,9 @@ def cluster_multiprocessing(
         n_slaves=n_slaves,
         batchsize=config.batchsize,
         workbuf_capacity=config.workbuf_capacity,
+        latency=tel.latency,  # None when telemetry is off
     )
+    lat = tel.latency
     # Master-side work done in degraded mode (kept out of MasterStats so
     # the protocol state machine stays engine-agnostic).
     local_generated = 0
@@ -439,6 +470,8 @@ def cluster_multiprocessing(
 
     def send_reply(handle: _SlaveHandle, reply) -> bool:
         """Send a master reply; False means the pipe is already dead."""
+        if lat is not None:
+            reply = replace(reply, sent_at=tel.now())
         try:
             handle.conn.send(reply)
         except _PIPE_ERRORS:
@@ -449,7 +482,8 @@ def cluster_multiprocessing(
         return True
 
     def flush_wait_queue(deaths: set[int]) -> None:
-        for waiter_id, waiter_reply in master.drain_wait_queue():
+        now = tel.now() if lat is not None else None
+        for waiter_id, waiter_reply in master.drain_wait_queue(now=now):
             handle = live.get(waiter_id)
             if handle is None:
                 continue
@@ -485,7 +519,14 @@ def cluster_multiprocessing(
                 monitor.record_fault("slave_errors")
             raise SlaveFailure(handle.slave_id, msg.traceback)
         handle.expecting_since = None
-        reply = master.on_message(msg)
+        if lat is not None:
+            t_now = tel.now()
+            if msg.sent_at >= 0:
+                lat.observe("transit", t_now - msg.sent_at)
+            reply = master.on_message(msg, now=t_now)
+            lat.observe("absorb", tel.now() - t_now)
+        else:
+            reply = master.on_message(msg)
         if rec is not None:
             rec.compute(
                 "master", t_recv, tel.now(), f"incorporate slave{handle.slave_id}"
@@ -509,7 +550,9 @@ def cluster_multiprocessing(
             return
         fault_counters.slaves_lost += 1
         record_fault(f"slave{slave_id}", "lost (crash or timeout)")
-        requeued = master.slave_lost(slave_id)
+        requeued = master.slave_lost(
+            slave_id, now=tel.now() if lat is not None else None
+        )
         fault_counters.pairs_reassigned += requeued
         if monitor is not None:
             monitor.slave_lost(slave_id)  # also counts fault.slaves_lost
@@ -541,6 +584,7 @@ def cluster_multiprocessing(
                 # Reuse the already-packed shared forests instead of
                 # rebuilding the lost slave's forests from the LCP array.
                 forests=shared.forests_for(slave_id) if shared is not None else None,
+                now=tel.now() if lat is not None else None,
             )
             local_generated += produced
             fault_counters.pairs_reassigned += admitted

@@ -67,6 +67,10 @@ class SlaveMsg:
     pairs: tuple[Pair, ...]
     exhausted: bool  # generator dry and PAIRBUF empty (a passive slave)
     has_pending_results: bool  # NEXTWORK non-empty at send time
+    #: Sender clock at send time (session-origin seconds for the mp
+    #: backend, virtual seconds under the simulator); -1.0 = unstamped,
+    #: so receivers can tell "telemetry off" from "sent at t=0".
+    sent_at: float = -1.0
 
     @property
     def n_results(self) -> int:
@@ -84,6 +88,8 @@ class MasterMsg:
     work: tuple[Pair, ...]
     request: int
     stop: bool = False
+    #: See :attr:`SlaveMsg.sent_at`.
+    sent_at: float = -1.0
 
     @property
     def n_pairs(self) -> int:
@@ -116,6 +122,7 @@ class MasterLogic:
         *,
         batchsize: int,
         workbuf_capacity: int,
+        latency=None,
     ) -> None:
         if n_slaves < 1:
             raise ValueError("need at least one slave")
@@ -136,6 +143,17 @@ class MasterLogic:
         # so at most the two newest batches are ever outstanding.
         self.in_flight: dict[int, deque[tuple[Pair, ...]]] = {}
         self.stats = MasterStats()
+        #: Optional :class:`~repro.telemetry.latency.LatencyStore`.  When
+        #: set, the engine passes its clock as ``now=`` on every call and
+        #: the master observes ``queue_master`` (per-pair WORKBUF dwell)
+        #: and ``rtt`` (dispatch → results absorbed, per non-empty batch).
+        #: When ``None`` (the default) no timestamp bookkeeping happens at
+        #: all — the hot path is exactly the pre-latency code.
+        self.latency = latency
+        # Admission timestamps, aligned element-for-element with
+        # ``workbuf`` / ``in_flight`` while ``latency`` is set.
+        self._workbuf_ts: deque[float] = deque()
+        self._flight_ts: dict[int, deque[float]] = {}
 
     # ------------------------------------------------------------------ #
 
@@ -152,18 +170,30 @@ class MasterLogic:
 
     # ------------------------------------------------------------------ #
 
-    def on_message(self, msg: SlaveMsg) -> MasterMsg | None:
+    def on_message(self, msg: SlaveMsg, *, now: float | None = None) -> MasterMsg | None:
         """Incorporate one slave message; return the reply, or ``None`` to
         park the slave on the wait queue (reply later via
-        :meth:`drain_wait_queue`)."""
+        :meth:`drain_wait_queue`).
+
+        ``now`` is the engine's clock (wall or virtual) and is only
+        consulted when a latency store is attached.
+        """
         self.stats.messages += 1
         self.pending_results[msg.slave_id] = msg.has_pending_results
         # The results just received cover every dispatched batch except
         # the newest one (still held as the slave's NEXTWORK).
         flight = self.in_flight.get(msg.slave_id)
         if flight:
+            fts = self._flight_ts.get(msg.slave_id)
             while len(flight) > 1:
-                flight.popleft()
+                batch = flight.popleft()
+                if fts:
+                    sent = fts.popleft()
+                    # A retired batch's results are in this message: its
+                    # round trip ends here.  Empty batches (result-eliciting
+                    # pings) carry no work unit, so they don't observe.
+                    if batch and self.latency is not None and now is not None:
+                        self.latency.observe("rtt", now - sent)
 
         # 1. Update CLUSTERS from the R results.
         for pair, result, accepted in msg.results:
@@ -186,6 +216,8 @@ class MasterLogic:
             if not self.manager.same_cluster(pair.est_a, pair.est_b):
                 self.workbuf.append(pair)
                 admitted += 1
+        if self.latency is not None and admitted:
+            self._stamp_admissions(admitted, now)
         self.stats.pairs_admitted += admitted
         if len(self.workbuf) > self.stats.workbuf_peak:
             self.stats.workbuf_peak = len(self.workbuf)
@@ -193,19 +225,38 @@ class MasterLogic:
         if msg.exhausted:
             self.passive.add(msg.slave_id)
 
-        return self._reply_for(msg.slave_id, len(msg.pairs), admitted)
+        return self._reply_for(msg.slave_id, len(msg.pairs), admitted, now)
 
-    def _reply_for(self, slave_id: int, p: int, p_prime: int) -> MasterMsg | None:
-        # W: up to batchsize pairs of work.
+    def _stamp_admissions(self, n: int, now: float | None) -> None:
+        """Extend ``_workbuf_ts`` to mirror ``n`` pairs just appended."""
+        t = now if now is not None else 0.0
+        self._workbuf_ts.extend(t for _ in range(n))
+
+    def _take_work(self, now: float | None) -> tuple[Pair, ...]:
+        """Pop up to one batchsize of work, observing per-pair WORKBUF
+        dwell time when latency tracing is on."""
         w = min(self.batchsize, len(self.workbuf))
         work = tuple(self.workbuf.popleft() for _ in range(w))
+        if self.latency is not None:
+            t = now if now is not None else 0.0
+            for _ in range(w):
+                if not self._workbuf_ts:
+                    break  # drained out-of-band (degraded recovery)
+                self.latency.observe("queue_master", t - self._workbuf_ts.popleft())
         self.stats.pairs_dispatched += len(work)
+        return work
+
+    def _reply_for(
+        self, slave_id: int, p: int, p_prime: int, now: float | None = None
+    ) -> MasterMsg | None:
+        # W: up to batchsize pairs of work.
+        work = self._take_work(now)
 
         # E: how many pairs to request next time.
         e = self._compute_request(slave_id, p, p_prime)
 
         if work or e > 0:
-            self._note_dispatch(slave_id, work)
+            self._note_dispatch(slave_id, work, now)
             return MasterMsg(work=work, request=e)
 
         # Nothing to give and nothing to ask for.
@@ -215,15 +266,22 @@ class MasterLogic:
         self.waiting.add(slave_id)
         return None
 
-    def _note_dispatch(self, slave_id: int, work: tuple[Pair, ...]) -> None:
+    def _note_dispatch(
+        self, slave_id: int, work: tuple[Pair, ...], now: float | None = None
+    ) -> None:
         """Record a (possibly empty) dispatched batch; emptiness matters
         because receipt bookkeeping relies on strict reply/message
         alternation per slave."""
         self.in_flight.setdefault(slave_id, deque()).append(work)
+        if self.latency is not None:
+            self._flight_ts.setdefault(slave_id, deque()).append(
+                now if now is not None else 0.0
+            )
 
     def _note_stop(self, slave_id: int) -> None:
         self.stopped.add(slave_id)
         self.in_flight.pop(slave_id, None)
+        self._flight_ts.pop(slave_id, None)
 
     def _compute_request(self, slave_id: int, p: int, p_prime: int) -> int:
         if slave_id in self.passive:
@@ -249,7 +307,9 @@ class MasterLogic:
 
     # ------------------------------------------------------------------ #
 
-    def drain_wait_queue(self) -> list[tuple[int, MasterMsg]]:
+    def drain_wait_queue(
+        self, *, now: float | None = None
+    ) -> list[tuple[int, MasterMsg]]:
         """Replies owed to wait-queued slaves, issued when work appeared or
         global termination became decidable.  Call after every
         :meth:`on_message`."""
@@ -257,16 +317,14 @@ class MasterLogic:
         for slave_id in sorted(self.waiting):
             if self.workbuf:
                 self.waiting.discard(slave_id)
-                w = min(self.batchsize, len(self.workbuf))
-                work = tuple(self.workbuf.popleft() for _ in range(w))
-                self.stats.pairs_dispatched += len(work)
-                self._note_dispatch(slave_id, work)
+                work = self._take_work(now)
+                self._note_dispatch(slave_id, work, now)
                 replies.append((slave_id, MasterMsg(work=work, request=0)))
             elif len(self.passive) == self.n_slaves:
                 self.waiting.discard(slave_id)
                 if self.pending_results.get(slave_id, False):
                     # Elicit the final results with an empty work message.
-                    self._note_dispatch(slave_id, ())
+                    self._note_dispatch(slave_id, (), now)
                     replies.append((slave_id, MasterMsg(work=(), request=0)))
                 else:
                     self._note_stop(slave_id)
@@ -277,7 +335,7 @@ class MasterLogic:
     # Fault transitions (engine-driven; see repro.parallel.faults).
     # ------------------------------------------------------------------ #
 
-    def slave_lost(self, slave_id: int) -> int:
+    def slave_lost(self, slave_id: int, *, now: float | None = None) -> int:
         """Drop a dead slave from the protocol.
 
         The slave leaves the wait queue, stops counting toward
@@ -292,12 +350,17 @@ class MasterLogic:
         self.passive.add(slave_id)
         self.waiting.discard(slave_id)
         self.pending_results[slave_id] = False
+        self._flight_ts.pop(slave_id, None)
         requeued = 0
         for batch in self.in_flight.pop(slave_id, ()):
             for pair in batch:
                 if not self.manager.same_cluster(pair.est_a, pair.est_b):
                     self.workbuf.append(pair)
                     requeued += 1
+        if self.latency is not None and requeued:
+            # Requeued pairs restart the queue clock: their first wait
+            # ended in a dead slave and was never work.
+            self._stamp_admissions(requeued, now)
         self.stats.pairs_reassigned += requeued
         if len(self.workbuf) > self.stats.workbuf_peak:
             self.stats.workbuf_peak = len(self.workbuf)
@@ -312,8 +375,9 @@ class MasterLogic:
         self.waiting.discard(slave_id)
         self.pending_results.pop(slave_id, None)
         self.in_flight.pop(slave_id, None)
+        self._flight_ts.pop(slave_id, None)
 
-    def absorb_pairs(self, pairs: Iterable[Pair]) -> int:
+    def absorb_pairs(self, pairs: Iterable[Pair], *, now: float | None = None) -> int:
         """Admit engine-regenerated pairs (degraded recovery) through the
         normal selection filter.  Returns the number admitted."""
         admitted = 0
@@ -322,6 +386,8 @@ class MasterLogic:
             if not self.manager.same_cluster(pair.est_a, pair.est_b):
                 self.workbuf.append(pair)
                 admitted += 1
+        if self.latency is not None and admitted:
+            self._stamp_admissions(admitted, now)
         self.stats.pairs_admitted += admitted
         if len(self.workbuf) > self.stats.workbuf_peak:
             self.stats.workbuf_peak = len(self.workbuf)

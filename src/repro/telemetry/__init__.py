@@ -22,7 +22,11 @@ Typical use::
 
 and ``pace-est report trace.jsonl`` reconstructs the per-phase times
 (Table 3 shape), per-slave utilisation, and master-busy fraction from the
-file alone.
+file alone.  ``pace-est analyze`` / ``pace-est diff`` break the same
+trace down by work-unit lifecycle stage (:mod:`repro.telemetry.latency`,
+:mod:`repro.telemetry.analyze`): per-stage p50/p90/p99/p999, the
+critical-path stage, slave imbalance, and stage-by-stage regression
+deltas between two runs.
 """
 
 from repro.telemetry.registry import (
@@ -31,6 +35,15 @@ from repro.telemetry.registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    quantile_from_buckets,
+)
+from repro.telemetry.analyze import analyze_trace, diff_traces, stage_table
+from repro.telemetry.latency import (
+    SEQUENTIAL_STAGES,
+    STAGES,
+    LatencyStore,
+    latency_records,
+    store_from_records,
 )
 from repro.telemetry.live import (
     LiveRunState,
@@ -88,4 +101,13 @@ __all__ = [
     "load_jsonl",
     "validate_records",
     "summarise",
+    "quantile_from_buckets",
+    "LatencyStore",
+    "STAGES",
+    "SEQUENTIAL_STAGES",
+    "latency_records",
+    "store_from_records",
+    "analyze_trace",
+    "diff_traces",
+    "stage_table",
 ]

@@ -263,10 +263,17 @@ class LiveRunState:
         engine: str = "unknown",
         clock: str = "wall",
         straggler_after: float = 30.0,
+        origin: float | None = None,
     ) -> None:
         self.run_id = run_id
         self.engine = engine
         self.clock = clock
+        #: The raw clock value sample ``ts`` offsets are measured from
+        #: (``time.monotonic()`` at run start for wall clocks, 0.0 for the
+        #: simulator).  Published so live scrapes, replayed JSONL and
+        #: post-run traces can be put on one time axis by `pace-est
+        #: analyze`.
+        self.origin = origin
         self.n_slaves = n_slaves
         self.straggler_after = straggler_after
         self.slaves: dict[int, SlaveView] = {
@@ -404,6 +411,7 @@ class LiveRunState:
             "run_id": self.run_id,
             "engine": self.engine,
             "clock": self.clock,
+            "origin": self.origin,
             "n_slaves": self.n_slaves,
             "now": self.now,
             "finished": self.finished,
@@ -427,11 +435,13 @@ def replay_live_records(records: list[dict]) -> LiveRunState:
     records) — what ``pace-est monitor <file>`` renders."""
     meta = records[0] if records and records[0].get("kind") == "meta" else {}
     n_slaves = int(meta.get("n_processors", 1)) - 1 if meta else 0
+    origin = meta.get("origin")
     state = LiveRunState(
         max(0, n_slaves),
         run_id=str(meta.get("run_id", "")),
         engine=str(meta.get("engine", "unknown")),
         clock=str(meta.get("clock", "wall")),
+        origin=float(origin) if origin is not None else None,
     )
     for rec in records:
         kind = rec.get("kind")

@@ -54,9 +54,15 @@ def _metric(lines: list[str], name: str, mtype: str, value, labels: str = "") ->
     lines.append(f"{name}{labels} {value}")
 
 
-def render_prometheus(state: LiveRunState) -> str:
+def render_prometheus(state: LiveRunState, histograms: dict | None = None) -> str:
     """The ``/metrics`` payload: Prometheus text exposition format,
-    rendered from the live state alone (no client library)."""
+    rendered from the live state alone (no client library).
+
+    ``histograms`` (name → :class:`~repro.telemetry.registry.Histogram`,
+    e.g. an attached registry's) adds ``_p50``/``_p99`` quantile gauges
+    per histogram — plus ``_p999`` for the ``latency.*`` stage
+    distributions, whose extreme tail is the whole point.
+    """
     lines: list[str] = []
     _metric(lines, "pace_up", "gauge", 1)
     _metric(lines, "pace_run_finished", "gauge", state.finished)
@@ -113,6 +119,18 @@ def render_prometheus(state: LiveRunState) -> str:
             f"{view.cpu_seconds:.3f}", lab,
         )
         _metric(lines, "pace_slave_straggler", "gauge", k in stragglers, lab)
+
+    for name, hist in sorted((histograms or {}).items()):
+        if hist.count == 0:
+            continue  # NaN quantiles have no place on a scrape endpoint
+        base = "pace_" + name.replace(".", "_").replace("-", "_")
+        quantiles = [("p50", 0.50), ("p99", 0.99)]
+        if name.startswith("latency."):
+            quantiles.append(("p999", 0.999))
+        _metric(lines, f"{base}_count", "counter", hist.count)
+        _metric(lines, f"{base}_sum", "counter", f"{hist.sum:.9g}")
+        for label, q in quantiles:
+            _metric(lines, f"{base}_{label}", "gauge", f"{hist.quantile(q):.9g}")
     return "\n".join(lines) + "\n"
 
 
@@ -268,6 +286,15 @@ class RunMonitor:
         self._last_status = 0.0
         self._last_state_rec = 0.0
         self._closed = False
+        self._registry = None
+
+    def attach_registry(self, registry) -> None:
+        """Expose a :class:`~repro.telemetry.registry.MetricsRegistry`'s
+        histograms as quantile gauges on ``/metrics`` (the engines attach
+        their telemetry registry so ``latency.*`` stage quantiles are
+        scrapeable mid-run).  Reads race benignly with writer increments:
+        a scrape may see a histogram mid-update, never a torn value."""
+        self._registry = registry
 
     # ---- lifecycle ---------------------------------------------------- #
 
@@ -283,9 +310,13 @@ class RunMonitor:
         engine: str,
         clock: str = "wall",
         straggler_after: float = 30.0,
+        origin: float | None = None,
     ) -> LiveRunState:
         """Engine handshake: size the state, open the sinks.  Idempotent
-        per monitor (a second run reuses the endpoint with fresh state)."""
+        per monitor (a second run reuses the endpoint with fresh state).
+        ``origin`` is the raw clock value that sample offsets count from;
+        it is published on ``/state`` and in the live meta record so the
+        stream can be time-aligned with post-run traces."""
         with self._lock:
             self.state = LiveRunState(
                 n_slaves,
@@ -293,8 +324,11 @@ class RunMonitor:
                 engine=engine,
                 clock=clock,
                 straggler_after=straggler_after,
+                origin=origin,
             )
-            self._open_live_sink(engine=engine, clock=clock, n_slaves=n_slaves)
+            self._open_live_sink(
+                engine=engine, clock=clock, n_slaves=n_slaves, origin=origin
+            )
         if self.requested_port is not None and self._server is None:
             server = ThreadingHTTPServer(("127.0.0.1", self.requested_port), _Handler)
             server.monitor = self
@@ -332,7 +366,11 @@ class RunMonitor:
                 "stream": "live",
                 "run_id": self.run_id,
                 "n_processors": meta["n_slaves"] + 1,
-                **{k: v for k, v in meta.items() if k != "n_slaves"},
+                **{
+                    k: v
+                    for k, v in meta.items()
+                    if k != "n_slaves" and v is not None
+                },
             }
         )
 
@@ -481,7 +519,10 @@ class RunMonitor:
         with self._lock:
             if self.state is None:
                 return "# TYPE pace_up gauge\npace_up 0\n"
-            return render_prometheus(self.state)
+            histograms = (
+                self._registry.histograms if self._registry is not None else None
+            )
+            return render_prometheus(self.state, histograms)
 
     def state_dict(self) -> dict:
         with self._lock:

@@ -21,6 +21,7 @@ for gauges (slave gauges are high-water marks).
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
 from dataclasses import dataclass, field
 
@@ -30,11 +31,46 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "quantile_from_buckets",
 ]
 
 #: A decade-ish ladder that suits the counts this system distributes
 #: (batch sizes, queue depths, band widths).
 DEFAULT_BUCKETS: tuple[float, ...] = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000)
+
+
+def quantile_from_buckets(
+    buckets: tuple[float, ...] | list[float],
+    counts: list[int],
+    q: float,
+) -> float:
+    """Estimate the ``q``-quantile of a bucketed distribution.
+
+    Linear interpolation within the winning bucket (Prometheus
+    ``histogram_quantile`` semantics: the first bucket interpolates from
+    0, the overflow bucket clamps to the last finite bound — the true
+    maximum is unknowable from counts alone).  NaN on an empty histogram,
+    so callers can render "-" instead of inventing a zero.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = sum(counts)
+    if total == 0:
+        return math.nan
+    rank = q * total
+    cum = 0.0
+    for i, c in enumerate(counts):
+        if c == 0:
+            continue
+        if cum + c >= rank:
+            lo = 0.0 if i == 0 else float(buckets[i - 1])
+            if i >= len(buckets):
+                return float(buckets[-1])  # overflow bucket: clamp
+            hi = float(buckets[i])
+            frac = (rank - cum) / c
+            return lo + (hi - lo) * min(1.0, max(0.0, frac))
+        cum += c
+    return float(buckets[-1])
 
 
 @dataclass
@@ -96,6 +132,11 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0 ≤ q ≤ 1) by linear interpolation within
+        the fixed buckets; NaN when the histogram is empty."""
+        return quantile_from_buckets(self.buckets, self.counts, q)
 
 
 class MetricsRegistry:

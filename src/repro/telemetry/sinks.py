@@ -17,7 +17,11 @@ kinds (the full schema is documented in DESIGN.md §5b):
   monotone *per actor*, not globally, because slaves sample
   independently and their messages interleave in arrival order);
 - ``live_state`` — a streamed master-side aggregate (progress, queue
-  depths, fault counters) with a ``finished`` flag on the last one.
+  depths, fault counters) with a ``finished`` flag on the last one;
+- ``latency`` — a per-stage work-unit latency summary (schema /3):
+  ``stage`` plus count/sum/mean and the p50/p90/p99/p999 quantiles,
+  denormalised from the ``latency.<stage>.seconds`` histograms so
+  downstream tools get tail percentiles without redoing bucket math.
 
 :func:`validate_records` is the schema check the CI smoke job and the
 round-trip tests run; :func:`summarise` reconstructs the paper-shaped
@@ -33,6 +37,7 @@ import json
 from pathlib import Path
 from typing import IO, Iterable
 
+from repro.telemetry.latency import LatencyStore, latency_records
 from repro.telemetry.spans import SPAN_PREFIX, SPAN_SUFFIX, TelemetrySnapshot
 
 __all__ = [
@@ -46,11 +51,16 @@ __all__ = [
     "summarise",
 ]
 
-SCHEMA_VERSION = "repro-telemetry/2"
+SCHEMA_VERSION = "repro-telemetry/3"
 
 #: Schema revisions this reader accepts.  /1 is the PR 2 post-run trace
-#: format; /2 adds the streamed ``live``/``live_state`` record kinds.
-ACCEPTED_SCHEMAS = frozenset({"repro-telemetry/1", "repro-telemetry/2"})
+#: format; /2 adds the streamed ``live``/``live_state`` record kinds; /3
+#: adds per-stage ``latency`` summary records (count/sum/mean + ordered
+#: p50 ≤ p90 ≤ p99 ≤ p999) and optional ``origin``/``run_id`` meta keys.
+#: Every rev is additive, so old files stay readable.
+ACCEPTED_SCHEMAS = frozenset(
+    {"repro-telemetry/1", "repro-telemetry/2", "repro-telemetry/3"}
+)
 
 #: The paper's Table 3 component columns, in presentation order.  (Kept
 #: in sync with ``repro.core.results.COMPONENT_ORDER``; duplicated here so
@@ -94,6 +104,10 @@ def snapshot_records(snapshot: TelemetrySnapshot) -> list[dict]:
                 "sum": rec["sum"],
             }
         )
+    # /3: denormalised per-stage work-unit latency summaries, derived
+    # from the ``latency.*`` histograms above so downstream tools get
+    # quantiles without redoing the bucket math.
+    records.extend(latency_records(LatencyStore.from_metrics(metrics)))
     return records
 
 
@@ -224,6 +238,32 @@ def validate_records(records: Iterable[dict]) -> list[str]:
                         f"record {i}: histogram {rec['name']!r} counts sum to "
                         f"{sum(counts)}, not count={rec.get('count')}"
                     )
+        elif kind == "latency":
+            stage = rec.get("stage")
+            if not stage:
+                problems.append(f"record {i}: latency record without a stage")
+                continue
+            if rec.get("count", 0) <= 0:
+                problems.append(
+                    f"record {i}: latency stage {stage!r} with count "
+                    f"{rec.get('count')!r} (empty stages are omitted)"
+                )
+            if rec.get("sum", 0.0) < 0:
+                problems.append(f"record {i}: latency stage {stage!r} negative sum")
+            qs = [rec.get(q) for q in ("p50", "p90", "p99", "p999")]
+            if any(not isinstance(q, (int, float)) for q in qs):
+                problems.append(
+                    f"record {i}: latency stage {stage!r} missing quantiles"
+                )
+            elif any(b < a - 1e-12 for a, b in zip(qs, qs[1:])):
+                problems.append(
+                    f"record {i}: latency stage {stage!r} quantiles not "
+                    f"ordered: {qs}"
+                )
+            elif qs[0] < 0:
+                problems.append(
+                    f"record {i}: latency stage {stage!r} negative p50"
+                )
         else:
             problems.append(f"record {i}: unknown record kind {kind!r}")
     # Span start/end pairing by id.
@@ -319,10 +359,28 @@ def summarise(records: list[dict]) -> str:
         for name, value in gauges.items():
             lines.append(f"  {name} = {value:.6g}")
 
+    lat = [r for r in records if r.get("kind") == "latency"]
+    if lat:
+        lines.append("")
+        lines.append("work-unit latency (per stage, seconds):")
+        lines.append(
+            f"  {'stage':<14s}  {'count':>8s}  {'mean':>10s}  "
+            f"{'p50':>10s}  {'p99':>10s}  {'p999':>10s}"
+        )
+        for r in lat:
+            lines.append(
+                f"  {r['stage']:<14s}  {r['count']:8d}  {r['mean']:10.3g}  "
+                f"{r['p50']:10.3g}  {r['p99']:10.3g}  {r['p999']:10.3g}"
+            )
+
     hists = [
         r
         for r in records
-        if r.get("kind") == "metric" and r.get("metric") == "histogram"
+        if r.get("kind") == "metric"
+        and r.get("metric") == "histogram"
+        # latency.* histograms are summarised by the latency table above;
+        # their 33-bucket dumps would drown the report.
+        and not (lat and r["name"].startswith("latency."))
     ]
     for h in hists:
         lines.append("")

@@ -82,6 +82,7 @@ class Telemetry:
         enabled: bool = True,
         origin: float | None = None,
         registry: MetricsRegistry | None = None,
+        run_id: str = "",
     ) -> None:
         self.enabled = enabled
         #: ``time.monotonic()`` value that maps to ts == 0.0.  Forked
@@ -89,10 +90,28 @@ class Telemetry:
         #: offsets land on the same axis.
         self.origin = time.monotonic() if origin is None else origin
         self.registry = registry if registry is not None else MetricsRegistry()
+        #: Shared with the monitor's live stream when both are active, so
+        #: post-run traces and live scrapes can be joined on it.
+        self.run_id = run_id
         self.trace = TraceRecorder()
         self.events: list[dict] = []
         self._stack: list[int] = []
         self._next_id = 0
+        self._latency = None
+
+    @property
+    def latency(self):
+        """The session's work-unit :class:`LatencyStore` when enabled,
+        ``None`` otherwise — call sites guard with ``if lat is not None``
+        so a disabled session leaves hot paths untouched.  Lazy so that a
+        session that never observes latency allocates nothing."""
+        if not self.enabled:
+            return None
+        if self._latency is None:
+            from repro.telemetry.latency import LatencyStore
+
+            self._latency = LatencyStore(self.registry)
+        return self._latency
 
     def now(self) -> float:
         """Seconds since the session origin."""
@@ -185,6 +204,9 @@ class Telemetry:
         meta.setdefault("clock", "wall")
         if "total_time" not in meta:
             meta["total_time"] = self.now()
+        meta.setdefault("origin", self.origin)
+        if self.run_id:
+            meta.setdefault("run_id", self.run_id)
         events = list(self.events)
         events.extend(ev.as_record() for ev in self.trace.ordered())
         events.sort(key=lambda r: r["ts"])

@@ -91,8 +91,26 @@ class TraceRecorder:
     def ordered(self) -> list[TraceEvent]:
         return sorted(self.events, key=lambda e: (e.start, e.end))
 
-    def extend(self, events: list[TraceEvent] | tuple[TraceEvent, ...]) -> None:
-        """Absorb events recorded elsewhere (e.g. shipped back by a slave)."""
+    def extend(
+        self,
+        events: list[TraceEvent] | tuple[TraceEvent, ...],
+        *,
+        offset: float = 0.0,
+    ) -> None:
+        """Absorb events recorded elsewhere (e.g. shipped back by a slave).
+
+        ``offset`` rebases foreign timestamps into this recorder's time
+        origin — pass ``their_origin - our_origin`` (origins are carried
+        in the streams' meta records) to merge traces recorded against
+        different clocks, e.g. overlaying a simulator run on an mp run.
+        """
+        if offset:
+            events = [
+                TraceEvent(
+                    e.kind, e.actor, e.start + offset, e.end + offset, e.detail
+                )
+                for e in events
+            ]
         self.events.extend(events)
 
     def total_span(self) -> float:

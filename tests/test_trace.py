@@ -124,3 +124,54 @@ class TestDegenerateInputs:
         tr.extend(other)
         assert len(tr) == 2
         assert [e.actor for e in tr.ordered()] == ["master", "slave0"]
+
+    def test_single_event_timeline_and_utilisation(self):
+        """One compute interval: the timeline shows exactly it (no
+        truncation notice) and utilisation is its busy fraction."""
+        tr = TraceRecorder()
+        tr.compute("slave0", 1.0, 3.0, "only")
+        text = render_timeline(tr, max_events=60)
+        assert text.count("\n") == 1  # header + the one event
+        assert "only" in text and "more events" not in text
+        assert utilisation(tr, 4.0) == {"slave0": 0.5}
+        assert tr.total_span() == 3.0
+
+    def test_single_instantaneous_event(self):
+        """A lone send has zero busy time: it renders but utilises nobody."""
+        tr = TraceRecorder()
+        tr.send("master", 2.5)
+        assert "send" in render_timeline(tr)
+        assert utilisation(tr, 10.0) == {}
+
+
+class TestDistinctOriginMerge:
+    def test_extend_offset_rebases_foreign_clock(self):
+        """Merging records from streams with different time origins (a
+        simulator trace starts at 0.0; an mp trace's meta origin is the
+        master's monotonic start): extend(offset=their_origin - ours)
+        puts both on one axis."""
+        merged = TraceRecorder()
+        merged.compute("master", 5.0, 6.0)  # our clock
+        sim_events = [
+            TraceEvent("compute", "slave0", 0.0, 1.0, "sim"),
+            TraceEvent("send", "slave0", 1.0, 1.0, "sim"),
+        ]
+        merged.extend(sim_events, offset=5.0)
+        ordered = merged.ordered()
+        assert [e.start for e in ordered] == [5.0, 5.0, 6.0]
+        # originals untouched (rebasing copies, never mutates)
+        assert sim_events[0].start == 0.0
+
+    def test_zero_offset_is_identity(self):
+        tr = TraceRecorder()
+        events = [TraceEvent("recv", "slave1", 3.0, 3.0)]
+        tr.extend(events, offset=0.0)
+        assert tr.events[0] is events[0]
+
+    def test_merged_utilisation_spans_both_sources(self):
+        tr = TraceRecorder()
+        tr.compute("master", 0.0, 2.0)
+        tr.extend([TraceEvent("compute", "slave0", 0.0, 1.0)], offset=2.0)
+        util = utilisation(tr, 4.0)
+        assert util == {"master": 0.5, "slave0": 0.25}
+        assert tr.total_span() == 3.0
