@@ -1,6 +1,6 @@
-"""Perf gates for the vectorised engines and the shared-arena startup path.
+"""Perf gates for the vectorised engines, arena startup and dispatch seam.
 
-Three subcommands, each measuring a reference implementation against its
+Four subcommands, each measuring a reference implementation against its
 optimised counterpart on the 30k-scaled dataset, verifying the optimised
 output is *identical* (the oracle property), and writing the numbers as
 JSON.  ``align`` and ``pairs`` gate engine speedups; ``startup`` gates the
@@ -8,15 +8,22 @@ shared-memory arena spawn path: per-slave pickled payload must shrink by
 ``--min-payload-ratio`` versus the legacy whole-index handoff, attach+
 construct latency must stay under ``--max-startup-seconds``, clusters must
 match the sequential oracle under both clean and injected-fault parallel
-runs, and no shared-memory segment may survive either run.  The committed
-``BENCH_align.json`` / ``BENCH_pairs.json`` / ``BENCH_startup.json`` at
-the repo root record the reference measurements.
+runs, and no shared-memory segment may survive either run.  ``dispatch``
+gates the dispatch-policy seam: the ``paper`` policy must reproduce the
+sequential oracle partition bit for bit on *both* parallel engines (the
+seam is refactoring, not behaviour), every policy must agree on the
+partition, and no policy may regress the 30k simulated makespan past
+``--max-makespan-ratio`` of the paper baseline.  The committed
+``BENCH_align.json`` / ``BENCH_pairs.json`` / ``BENCH_startup.json`` /
+``BENCH_dispatch.json`` at the repo root record the reference
+measurements.
 
 Usage::
 
     python benchmarks/perf_gate.py align --out BENCH_align.json --min-speedup 2.0
     python benchmarks/perf_gate.py pairs --out BENCH_pairs.json --min-speedup 3.0
     python benchmarks/perf_gate.py startup --out BENCH_startup.json
+    python benchmarks/perf_gate.py dispatch --out BENCH_dispatch.json
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ from repro.pairs import SaPairGenerator, VectorPairGenerator
 ALIGN_SCHEMA = "pace-align-gate/1"
 PAIRS_SCHEMA = "pace-pairs-gate/1"
 STARTUP_SCHEMA = "pace-startup-gate/1"
+DISPATCH_SCHEMA = "pace-dispatch-gate/1"
 
 
 def _measure(make_run, rounds: int) -> tuple[float, object]:
@@ -273,6 +281,76 @@ def run_startup(args) -> int:
     return 0
 
 
+def run_dispatch(args) -> int:
+    from repro.core import PaceClusterer
+    from repro.parallel import cluster_multiprocessing, simulate_clustering
+
+    config = bench_config()
+    col = dataset(30_000).collection
+    gst = dataset_gst(30_000)
+    n_proc = args.slaves + 1
+
+    # --- oracle: the paper policy is a refactoring, not a behaviour ------
+    seq_clusters = PaceClusterer(config).cluster(col).clusters
+    sim_paper = simulate_clustering(
+        col, config, n_processors=n_proc, gst=gst, dispatch_policy="paper"
+    )
+    sim_ok = sim_paper.result.clusters == seq_clusters
+    # config.dispatch_policy is "paper" by default; mp reads it from there.
+    mp_paper = cluster_multiprocessing(col, config, n_processors=n_proc)
+    mp_ok = mp_paper.clusters == seq_clusters
+
+    # --- makespan: no policy may tank throughput for its tail gains ------
+    makespans = {"paper": sim_paper.total_time}
+    cluster_drift = []
+    for policy in ("jbsq:2", "pace"):
+        rep = simulate_clustering(
+            col, config, n_processors=n_proc, gst=gst, dispatch_policy=policy
+        )
+        makespans[policy] = rep.total_time
+        if rep.result.clusters != seq_clusters:
+            cluster_drift.append(policy)
+    worst_ratio = max(t / makespans["paper"] for t in makespans.values())
+
+    record = {
+        "schema": DISPATCH_SCHEMA,
+        "dataset": 30_000,
+        "n_slaves": args.slaves,
+        "sim_paper_oracle": sim_ok,
+        "mp_paper_oracle": mp_ok,
+        "policies_cluster_identical": not cluster_drift,
+        "makespans": {k: round(v, 4) for k, v in makespans.items()},
+        "worst_makespan_ratio": round(worst_ratio, 3),
+        "max_makespan_ratio": args.max_makespan_ratio,
+        "env": bench_env(),
+    }
+    print(json.dumps(record, indent=2))
+    if args.out is not None:
+        args.out.write_text(json.dumps(record, indent=2) + "\n")
+
+    failures = []
+    if not sim_ok:
+        failures.append("paper-policy sim clusters differ from sequential oracle")
+    if not mp_ok:
+        failures.append("paper-policy mp clusters differ from sequential oracle")
+    for policy in cluster_drift:
+        failures.append(f"policy {policy!r} changed the partition")
+    if worst_ratio > args.max_makespan_ratio:
+        failures.append(
+            f"worst policy makespan {worst_ratio:.2f}x paper > "
+            f"{args.max_makespan_ratio:.2f}x"
+        )
+    if failures:
+        for f in failures:
+            print(f"perf gate FAILED: {f}", file=sys.stderr)
+        return 1
+    print(
+        f"perf gate passed: dispatch oracles hold, worst makespan ratio "
+        f"{worst_ratio:.2f}x"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     sub = parser.add_subparsers(dest="gate", required=True)
@@ -318,6 +396,20 @@ def main(argv: list[str] | None = None) -> int:
     p_start.add_argument("--rounds", type=int, default=3,
                          help="timing rounds, best-of (default 3)")
     p_start.set_defaults(func=run_startup)
+
+    p_disp = sub.add_parser(
+        "dispatch", help="dispatch-policy oracle identity + makespan bound"
+    )
+    p_disp.add_argument("--out", type=Path, default=None,
+                        help="write the measurement JSON here")
+    p_disp.add_argument("--max-makespan-ratio", type=float, default=1.1,
+                        help="fail when any policy's simulated makespan "
+                             "exceeds this multiple of the paper "
+                             "baseline (default 1.1)")
+    p_disp.add_argument("--slaves", type=int, default=4,
+                        help="slave count for the oracle/makespan runs "
+                             "(default 4)")
+    p_disp.set_defaults(func=run_dispatch)
 
     args = parser.parse_args(argv)
     return args.func(args)

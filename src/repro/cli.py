@@ -90,6 +90,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="use P processors (0 = sequential)")
     c.add_argument("--machine", choices=("simulated", "multiprocessing"),
                    default="multiprocessing")
+    c.add_argument("--dispatch-policy", default="paper", metavar="POLICY",
+                   help="master work-allocation policy: 'paper' (the §3.3 "
+                        "formula, reproduction-faithful default), 'jbsq' / "
+                        "'jbsq:<k>' (bound grants by in-flight batch depth) "
+                        "or 'pace' (shrink grants to straggling slaves)")
     c.add_argument("--clusters-fasta-dir", type=Path,
                    help="also write one FASTA per cluster into this directory")
     c.add_argument("--representatives", type=Path, metavar="FASTA",
@@ -192,6 +197,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         align_batch=args.align_batch,
         pair_engine=args.pair_engine,
         shared_arenas=not args.no_shared_arenas,
+        dispatch_policy=args.dispatch_policy,
         acceptance=AcceptanceCriteria(
             min_score_ratio=args.min_ratio, min_overlap=args.min_overlap
         ),

@@ -70,6 +70,11 @@ class ClusteringConfig:
     #: multiprocessing backend consults this; ``False`` restores the legacy
     #: whole-object handoff.
     shared_arenas: bool = True
+    #: Master work-allocation policy (:mod:`repro.parallel.dispatch`):
+    #: "paper" (the §3.3 formula, reproduction-faithful default), "jbsq"
+    #: / "jbsq:<k>" (join-bounded-shortest-queue over in-flight batches),
+    #: or "pace" (straggler-aware grant shrinking from rtt quantiles).
+    dispatch_policy: str = "paper"
 
     def __post_init__(self) -> None:
         check_positive("w", self.w)
@@ -98,6 +103,22 @@ class ClusteringConfig:
                 "vectorised generator runs on LCP-interval forests, which the "
                 "tree backend does not build"
             )
+        # The policy-name grammar is duplicated from repro.parallel.dispatch
+        # (importing it here would be circular: repro.parallel pulls in the
+        # engines, which import this module).  parse_policy re-validates at
+        # instantiation time, so the two can never silently diverge.
+        name, _, arg = self.dispatch_policy.partition(":")
+        if name not in ("paper", "jbsq", "pace"):
+            raise ValueError(
+                f"unknown dispatch_policy {self.dispatch_policy!r} "
+                f"(expected 'paper', 'jbsq', 'jbsq:<k>' or 'pace')"
+            )
+        if arg:
+            if name != "jbsq" or not arg.isdigit() or int(arg) < 1:
+                raise ValueError(
+                    f"bad dispatch_policy argument in {self.dispatch_policy!r}: "
+                    f"only 'jbsq:<k>' with integer k >= 1 takes one"
+                )
 
     @classmethod
     def small_reads(cls, **overrides) -> "ClusteringConfig":

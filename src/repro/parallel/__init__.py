@@ -5,6 +5,14 @@ layer (crash detection, restarts, degraded recovery) on top of both."""
 
 from repro.parallel.arenas import GstArenas, GstBundle, attach_gst
 from repro.parallel.cost_model import CostModel
+from repro.parallel.dispatch import (
+    JBSQ,
+    DispatchPolicy,
+    PaceAware,
+    PaperFormula,
+    RequestContext,
+    make_policy,
+)
 from repro.parallel.faults import (
     FaultInjector,
     FaultPlan,
@@ -29,6 +37,12 @@ __all__ = [
     "attach_gst",
     "leaked_segments",
     "CostModel",
+    "DispatchPolicy",
+    "JBSQ",
+    "PaceAware",
+    "PaperFormula",
+    "RequestContext",
+    "make_policy",
     "cluster_multiprocessing",
     "BucketAssignment",
     "assign_buckets",

@@ -61,7 +61,22 @@ class CostModel:
     #: Fixed header bytes per message.
     bytes_header: int = 64
 
+    # --- heterogeneity ---------------------------------------------------
+    #: Per-slave compute-speed multipliers: slave ``k``'s computation
+    #: takes ``slave_factor(k)`` times the homogeneous cost.  Empty (the
+    #: default) means a uniform fleet, as the paper's SP was.  Slaves past
+    #: the end of the tuple run at factor 1.0, so a short tuple slows (or
+    #: speeds) just the first few ranks.  Communication costs are not
+    #: scaled — the interconnect is shared.
+    slave_speed_factors: tuple[float, ...] = ()
+
     # ------------------------------------------------------------------ #
+
+    def slave_factor(self, slave_id: int) -> float:
+        """Compute-time multiplier for the given slave rank."""
+        if 0 <= slave_id < len(self.slave_speed_factors):
+            return self.slave_speed_factors[slave_id]
+        return 1.0
 
     def message_time(self, n_pairs: int, n_results: int) -> float:
         """One-way transfer time of a protocol message."""

@@ -1,0 +1,393 @@
+"""Pluggable master dispatch policies for the §3.3 work-allocation loop.
+
+The paper steers work with a single formula: each reply carries a request
+for ``E = min(α·δ·batchsize, nfree/p)`` further pairs, where ``α = P/P′``
+measures how useful the slave's last offer was and ``δ`` compensates for
+passive slaves.  That formula is one point in a rich design space —
+queueing systems built on the same master/worker shape (JBSQ-style
+dispatchers, CREW/EREW key-partitioned stores) choose the grant per
+worker from live queue state instead, trading a little throughput for a
+much thinner latency tail.
+
+This module extracts that choice into a seam:
+
+- :class:`RequestContext` — everything the master knows at the moment it
+  computes one reply's request size: the slave's offer (``p``/``p_prime``),
+  WORKBUF occupancy, fleet composition, and the per-slave in-flight
+  mirror (non-empty dispatched batches not yet reported back);
+- :class:`DispatchPolicy` — the interface plus the in-flight mirror
+  bookkeeping every policy shares.  :class:`~repro.parallel.protocol.
+  MasterLogic` drives the hooks: ``note_dispatch`` when work leaves,
+  ``note_retired`` when its results arrive (with the batch round-trip
+  time when the engine supplies a clock), ``note_slave_lost`` /
+  ``note_slave_stopped`` when a slave leaves the protocol;
+- :class:`PaperFormula` — the bitwise-faithful default.  It consults
+  nothing but the paper's inputs, so runs under it are byte-identical to
+  the pre-seam code on either engine;
+- :class:`JBSQ` — join-bounded-shortest-queue adapted to this pull-based
+  protocol: the grant shrinks linearly with the slave's in-flight batch
+  depth and hits zero at the bound ``k``, keeping per-slave outstanding
+  work short the way JBSQ(k) keeps server queues short.  WORKBUF then
+  runs shallower, which is exactly what trims ``queue_master`` dwell;
+- :class:`PaceAware` — straggler-aware shrinking: slaves whose recent
+  batch round-trip p90 lags the fleet get proportionally smaller grants
+  (they stop burning their turnaround on blocking generation), and
+  slaves the live :class:`~repro.telemetry.monitor.RunMonitor` flags as
+  stragglers are clamped to the floor immediately.
+
+Safety argument, shared by every policy: the request size only shapes
+*inflow* of new promising pairs.  A zero grant to a slave that holds
+work in flight cannot stall the run — that slave still owes the master a
+results message, and admission/termination are unchanged.  A slave with
+nothing in flight always receives the paper grant under every policy
+shipped here, so pair generation can never be starved to a standstill.
+
+Select a policy with ``ClusteringConfig.dispatch_policy`` / the CLI's
+``--dispatch-policy`` (``paper``, ``jbsq``, ``jbsq:<k>``, ``pace``), or
+pass a ready instance to :func:`make_policy` consumers.  ``paper`` stays
+the default for reproduction fidelity; see
+``benchmarks/bench_dispatch_tournament.py`` for the measured trade-offs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = [
+    "RequestContext",
+    "DispatchPolicy",
+    "PaperFormula",
+    "JBSQ",
+    "PaceAware",
+    "POLICY_NAMES",
+    "make_policy",
+    "parse_policy",
+]
+
+#: Canonical policy names (``jbsq`` also accepts a ``jbsq:<k>`` form).
+POLICY_NAMES: tuple[str, ...] = ("paper", "jbsq", "pace")
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """The master's knowledge at one request computation.
+
+    One instance per reply; all counts are taken *after* the incoming
+    message was incorporated (results merged, offers admitted) and
+    *after* the reply's own work batch was popped from WORKBUF, i.e. they
+    describe the state the reply leaves behind.
+    """
+
+    slave_id: int
+    #: Pairs the slave offered in the message being answered (P).
+    p: int
+    #: Of those, pairs admitted into WORKBUF (P′ — different-cluster).
+    p_prime: int
+    batchsize: int
+    #: Free WORKBUF capacity (the paper's ``nfree``).
+    nfree: int
+    workbuf_depth: int
+    workbuf_capacity: int
+    n_slaves: int
+    active_slaves: int
+    #: The slave declared itself passive (generator dry, PAIRBUF empty).
+    passive: bool
+    #: Non-empty work batches dispatched to this slave, unreported.
+    in_flight_batches: int
+    #: Pairs inside those batches.
+    in_flight_pairs: int
+    #: Engine clock at computation time (virtual or wall); ``None`` when
+    #: the engine supplies no clock (latency tracing off, paper policy).
+    now: float | None = None
+
+
+class DispatchPolicy:
+    """Base class: the request computation plus shared mirror bookkeeping.
+
+    Subclasses implement :meth:`request`.  The in-flight mirror maps
+    ``slave_id -> (batches, pairs)`` of *non-empty* dispatched work not
+    yet reported back; empty batches (result-eliciting pings) carry no
+    work unit and are never counted.  The mirror must be cleared when a
+    slave leaves the protocol — on ``slave_lost`` its unreported batches
+    are requeued into WORKBUF, and counting them as still in flight
+    would double-charge the queue-depth view (see the regression test in
+    ``tests/test_dispatch.py``).
+    """
+
+    #: Human-readable policy identifier (scorecards, snapshots).
+    name: str = "abstract"
+    #: Set when the policy consumes batch round-trip times; the master
+    #: then keeps dispatch timestamps (and engines pass a clock) even
+    #: when latency tracing is off.
+    wants_rtt: bool = False
+
+    def __init__(self) -> None:
+        self._batches: dict[int, int] = {}
+        self._pairs: dict[int, int] = {}
+
+    # ---- the decision ------------------------------------------------- #
+
+    def request(self, ctx: RequestContext) -> int:
+        """The number of further pairs to ask this slave for (E ≥ 0)."""
+        raise NotImplementedError
+
+    @staticmethod
+    def paper_request(ctx: RequestContext) -> int:
+        """The paper's §3.3 formula — the shared baseline every shipped
+        policy modulates: ``E = min(α·δ·batchsize, nfree/p)``."""
+        if ctx.passive:
+            return 0
+        delta = ctx.n_slaves / max(1, ctx.active_slaves)
+        if ctx.p > 0:
+            alpha = ctx.p / ctx.p_prime if ctx.p_prime > 0 else float(ctx.n_slaves)
+        else:
+            # Nothing offered (bootstrap or a zero request last round):
+            # prime the flow with a plain δ·batchsize request.
+            alpha = 1.0
+        e = min(
+            alpha * delta * ctx.batchsize, ctx.nfree / max(1, ctx.n_slaves)
+        )
+        return max(0, int(e))
+
+    # ---- in-flight mirror hooks (driven by MasterLogic) ---------------- #
+
+    def note_dispatch(self, slave_id: int, n_pairs: int) -> None:
+        """A work batch of ``n_pairs`` left for ``slave_id`` (empty
+        batches are ignored: they elicit results, they are not work)."""
+        if n_pairs <= 0:
+            return
+        self._batches[slave_id] = self._batches.get(slave_id, 0) + 1
+        self._pairs[slave_id] = self._pairs.get(slave_id, 0) + n_pairs
+
+    def note_retired(
+        self, slave_id: int, n_pairs: int, rtt: float | None = None
+    ) -> None:
+        """The results of one previously dispatched non-empty batch
+        arrived; ``rtt`` is its dispatch→absorbed round trip when the
+        engine supplies a clock."""
+        if n_pairs <= 0:
+            return
+        b = self._batches.get(slave_id, 0) - 1
+        p = self._pairs.get(slave_id, 0) - n_pairs
+        if b > 0:
+            self._batches[slave_id] = b
+        else:
+            self._batches.pop(slave_id, None)
+        if p > 0:
+            self._pairs[slave_id] = p
+        else:
+            self._pairs.pop(slave_id, None)
+
+    def note_slave_lost(self, slave_id: int) -> None:
+        """The slave left the protocol; its unreported batches were
+        requeued into WORKBUF, so they are no longer in flight."""
+        self._batches.pop(slave_id, None)
+        self._pairs.pop(slave_id, None)
+
+    def note_slave_stopped(self, slave_id: int) -> None:
+        """Clean protocol stop: nothing can be outstanding."""
+        self._batches.pop(slave_id, None)
+        self._pairs.pop(slave_id, None)
+
+    def attach_signals(self, stragglers) -> None:
+        """Attach a zero-argument callable returning the ids of slaves
+        the live monitor currently flags as stragglers.  The base class
+        (and any policy that doesn't read live signals) ignores it, so
+        engines may call this unconditionally."""
+
+    # ---- read side ----------------------------------------------------- #
+
+    def queue_depth(self, slave_id: int) -> tuple[int, int]:
+        """``(batches, pairs)`` currently mirrored in flight."""
+        return self._batches.get(slave_id, 0), self._pairs.get(slave_id, 0)
+
+
+class PaperFormula(DispatchPolicy):
+    """The paper's formula, verbatim — the reproduction-fidelity default.
+
+    Ignores the in-flight mirror entirely, so protocol runs under it are
+    byte-identical to the pre-policy-seam implementation (asserted by the
+    oracle tests and the ``perf_gate.py dispatch`` gate).
+    """
+
+    name = "paper"
+
+    def request(self, ctx: RequestContext) -> int:
+        return self.paper_request(ctx)
+
+
+class JBSQ(DispatchPolicy):
+    """Join-bounded-shortest-queue over per-slave in-flight batch counts.
+
+    Classic JBSQ(k) admits a request to a server only while its queue is
+    shorter than ``k``.  In this pull-based protocol the master cannot
+    withhold the work batch itself (the slave asked for it), but it *can*
+    bound what it asks the slave to generate next: the grant shrinks
+    linearly with the slave's in-flight batch depth and is zero once
+    ``k`` batches are outstanding.  Slaves with short queues keep the
+    generator warm; slaves juggling a backlog are left to drain it.  The
+    aggregate effect is a shallower WORKBUF — pairs are pulled closer to
+    when they are dispatched — which is what trims ``queue_master`` p99
+    on skewed workloads (one giant cluster, Zipf sizes).
+
+    ``k`` defaults to 2, the protocol's natural outstanding-batch bound:
+    a slave aligning its NEXTWORK while a wait-queue grant is already on
+    the wire is exactly two batches deep.
+    """
+
+    name = "jbsq"
+
+    def __init__(self, k: int = 2) -> None:
+        super().__init__()
+        if k < 1:
+            raise ValueError(f"JBSQ bound k must be >= 1, got {k}")
+        self.k = k
+        self.name = f"jbsq:{k}"
+
+    def request(self, ctx: RequestContext) -> int:
+        base = self.paper_request(ctx)
+        if base <= 0:
+            return base
+        depth = self._batches.get(ctx.slave_id, 0)
+        if depth >= self.k:
+            return 0
+        return int(base * (self.k - depth) / self.k)
+
+
+class PaceAware(DispatchPolicy):
+    """Straggler-aware grant shrinking fed by batch round-trip times.
+
+    The master already observes one round trip per non-empty batch
+    (dispatch → results absorbed).  This policy keeps a short window of
+    those per slave; a slave whose rtt p90 lags the fleet median by more
+    than ``lag`` gets its grant scaled by ``fleet_p90 / slave_p90``
+    (floored at ``floor``) — a slow slave is asked to generate less, so
+    its turnaround stops being inflated by blocking generation and the
+    fleet-wide rtt tail thins.  Slaves the live monitor flags as
+    stragglers (stale samples — the same signal the fault deadline keys
+    on) are clamped to the floor immediately, before enough rtt samples
+    accumulate to prove them slow.
+
+    Works on both engines: under the simulator the window holds virtual
+    round trips (deterministic), under mp wall-clock ones.  With fewer
+    than ``min_samples`` observations for a slave, or fewer than two
+    slaves measured, it falls back to the paper formula.
+    """
+
+    name = "pace"
+    wants_rtt = True
+
+    def __init__(
+        self,
+        *,
+        window: int = 32,
+        min_samples: int = 4,
+        lag: float = 1.2,
+        floor: float = 0.25,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < floor <= 1.0:
+            raise ValueError(f"floor must be in (0, 1], got {floor}")
+        if lag < 1.0:
+            raise ValueError(f"lag must be >= 1.0, got {lag}")
+        self.window = window
+        self.min_samples = min_samples
+        self.lag = lag
+        self.floor = floor
+        self._rtts: dict[int, deque[float]] = {}
+        self._signals = None
+
+    def attach_signals(self, stragglers) -> None:
+        """Attach a zero-argument callable returning the ids of slaves
+        the live monitor currently flags as stragglers (e.g.
+        :meth:`~repro.telemetry.monitor.RunMonitor.straggler_ids`)."""
+        self._signals = stragglers
+
+    def note_retired(
+        self, slave_id: int, n_pairs: int, rtt: float | None = None
+    ) -> None:
+        super().note_retired(slave_id, n_pairs, rtt)
+        if n_pairs > 0 and rtt is not None:
+            self._rtts.setdefault(slave_id, deque(maxlen=self.window)).append(
+                max(0.0, rtt)
+            )
+
+    def note_slave_lost(self, slave_id: int) -> None:
+        super().note_slave_lost(slave_id)
+        # A replacement slave re-enters with a fresh bootstrap; judging
+        # it by its dead predecessor's round trips would be unfair both
+        # ways.
+        self._rtts.pop(slave_id, None)
+
+    @staticmethod
+    def _p90(samples: deque[float]) -> float:
+        ordered = sorted(samples)
+        idx = min(len(ordered) - 1, int(0.9 * (len(ordered) - 1) + 0.5))
+        return ordered[idx]
+
+    def pace_factor(self, slave_id: int) -> float:
+        """The grant multiplier for one slave (1.0 = full paper grant)."""
+        if self._signals is not None and slave_id in set(self._signals()):
+            return self.floor
+        mine = self._rtts.get(slave_id)
+        if mine is None or len(mine) < self.min_samples:
+            return 1.0
+        p90s = [
+            self._p90(window)
+            for window in self._rtts.values()
+            if len(window) >= self.min_samples
+        ]
+        if len(p90s) < 2:
+            return 1.0
+        ordered = sorted(p90s)
+        fleet = ordered[len(ordered) // 2]
+        own = self._p90(mine)
+        if fleet <= 0.0 or own <= self.lag * fleet:
+            return 1.0
+        return max(self.floor, fleet / own)
+
+    def request(self, ctx: RequestContext) -> int:
+        base = self.paper_request(ctx)
+        if base <= 0:
+            return base
+        return int(base * self.pace_factor(ctx.slave_id))
+
+
+def parse_policy(spec: str) -> tuple[str, dict]:
+    """Split a policy spec string into ``(name, kwargs)``.
+
+    ``"paper"`` / ``"jbsq"`` / ``"pace"`` select defaults; ``"jbsq:3"``
+    sets the bound.  Raises ``ValueError`` on anything else.
+    """
+    name, sep, arg = spec.partition(":")
+    if name not in POLICY_NAMES:
+        raise ValueError(
+            f"unknown dispatch policy {spec!r} (expected one of "
+            f"{POLICY_NAMES} or 'jbsq:<k>')"
+        )
+    if not sep:
+        return name, {}
+    if name != "jbsq":
+        raise ValueError(f"policy {name!r} takes no argument, got {spec!r}")
+    try:
+        return name, {"k": int(arg)}
+    except ValueError as exc:
+        raise ValueError(f"bad JBSQ bound in {spec!r}") from exc
+
+
+def make_policy(spec: str | DispatchPolicy) -> DispatchPolicy:
+    """Instantiate a dispatch policy from its config spec string.
+
+    A ready :class:`DispatchPolicy` instance passes through unchanged, so
+    callers can inject pre-configured (or test-double) policies wherever
+    a config string is accepted.
+    """
+    if isinstance(spec, DispatchPolicy):
+        return spec
+    name, kwargs = parse_policy(spec)
+    if name == "paper":
+        return PaperFormula()
+    if name == "jbsq":
+        return JBSQ(**kwargs)
+    return PaceAware()

@@ -262,7 +262,15 @@ def reabsorb_ranges(
 def drain_workbuf(master: "MasterLogic", aligner: "PairAligner") -> int:
     """Align everything left in WORKBUF in the master itself — the
     last-resort degraded mode when no slave survives.  Returns the number
-    of alignments performed."""
+    of alignments performed.
+
+    Dispatch-policy state needs no draining here: the in-flight mirrors
+    of every dead slave were already cleared by
+    :meth:`~repro.parallel.protocol.MasterLogic.slave_lost` (grants
+    issued just before this drain would otherwise double-count the
+    requeued pairs in queue-depth policies like JBSQ), and this path is
+    only reached once no slave survives to receive another grant.
+    """
     aligned = 0
     # WORKBUF empties out-of-band here, so drop its latency timestamps
     # wholesale — there is no dispatch to attribute the dwell time to.

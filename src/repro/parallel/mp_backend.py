@@ -408,8 +408,15 @@ def cluster_multiprocessing(
         batchsize=config.batchsize,
         workbuf_capacity=config.workbuf_capacity,
         latency=tel.latency,  # None when telemetry is off
+        policy=config.dispatch_policy,
     )
     lat = tel.latency
+    # Pace-aware policies consume round-trip times even with latency
+    # tracing off; tel.now() is valid on a disabled session.
+    clocked = lat is not None or master.policy.wants_rtt
+    if monitor is not None:
+        # Straggler-aware policies read the monitor's live view.
+        master.policy.attach_signals(getattr(monitor, "straggler_ids", None))
     # Master-side work done in degraded mode (kept out of MasterStats so
     # the protocol state machine stays engine-agnostic).
     local_generated = 0
@@ -482,7 +489,7 @@ def cluster_multiprocessing(
         return True
 
     def flush_wait_queue(deaths: set[int]) -> None:
-        now = tel.now() if lat is not None else None
+        now = tel.now() if clocked else None
         for waiter_id, waiter_reply in master.drain_wait_queue(now=now):
             handle = live.get(waiter_id)
             if handle is None:
@@ -525,6 +532,8 @@ def cluster_multiprocessing(
                 lat.observe("transit", t_now - msg.sent_at)
             reply = master.on_message(msg, now=t_now)
             lat.observe("absorb", tel.now() - t_now)
+        elif clocked:
+            reply = master.on_message(msg, now=tel.now())
         else:
             reply = master.on_message(msg)
         if rec is not None:
@@ -551,7 +560,7 @@ def cluster_multiprocessing(
         fault_counters.slaves_lost += 1
         record_fault(f"slave{slave_id}", "lost (crash or timeout)")
         requeued = master.slave_lost(
-            slave_id, now=tel.now() if lat is not None else None
+            slave_id, now=tel.now() if clocked else None
         )
         fault_counters.pairs_reassigned += requeued
         if monitor is not None:

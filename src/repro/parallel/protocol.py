@@ -54,6 +54,7 @@ from repro.align.scoring import AlignmentResult
 from repro.cluster.manager import ClusterManager
 from repro.pairs.ondemand import OnDemandPairGenerator
 from repro.pairs.pair import Pair
+from repro.parallel.dispatch import DispatchPolicy, RequestContext, make_policy
 
 __all__ = ["SlaveMsg", "MasterMsg", "MasterLogic", "SlaveLogic"]
 
@@ -123,6 +124,7 @@ class MasterLogic:
         batchsize: int,
         workbuf_capacity: int,
         latency=None,
+        policy: DispatchPolicy | str = "paper",
     ) -> None:
         if n_slaves < 1:
             raise ValueError("need at least one slave")
@@ -150,6 +152,14 @@ class MasterLogic:
         #: When ``None`` (the default) no timestamp bookkeeping happens at
         #: all — the hot path is exactly the pre-latency code.
         self.latency = latency
+        #: The work-allocation policy computing each reply's request size
+        #: (:mod:`repro.parallel.dispatch`).  The default reproduces the
+        #: paper's formula bit for bit.
+        self.policy = make_policy(policy)
+        # Dispatch timestamps are kept for the latency store's rtt stage
+        # and for policies (PaceAware) that consume round-trip times even
+        # when latency tracing is off.
+        self._track_rtt = latency is not None or self.policy.wants_rtt
         # Admission timestamps, aligned element-for-element with
         # ``workbuf`` / ``in_flight`` while ``latency`` is set.
         self._workbuf_ts: deque[float] = deque()
@@ -187,13 +197,18 @@ class MasterLogic:
             fts = self._flight_ts.get(msg.slave_id)
             while len(flight) > 1:
                 batch = flight.popleft()
+                rtt = None
                 if fts:
                     sent = fts.popleft()
                     # A retired batch's results are in this message: its
                     # round trip ends here.  Empty batches (result-eliciting
                     # pings) carry no work unit, so they don't observe.
-                    if batch and self.latency is not None and now is not None:
-                        self.latency.observe("rtt", now - sent)
+                    if batch and now is not None:
+                        rtt = now - sent
+                        if self.latency is not None:
+                            self.latency.observe("rtt", rtt)
+                if batch:
+                    self.policy.note_retired(msg.slave_id, len(batch), rtt)
 
         # 1. Update CLUSTERS from the R results.
         for pair, result, accepted in msg.results:
@@ -253,7 +268,7 @@ class MasterLogic:
         work = self._take_work(now)
 
         # E: how many pairs to request next time.
-        e = self._compute_request(slave_id, p, p_prime)
+        e = self._compute_request(slave_id, p, p_prime, now)
 
         if work or e > 0:
             self._note_dispatch(slave_id, work, now)
@@ -273,7 +288,8 @@ class MasterLogic:
         because receipt bookkeeping relies on strict reply/message
         alternation per slave."""
         self.in_flight.setdefault(slave_id, deque()).append(work)
-        if self.latency is not None:
+        self.policy.note_dispatch(slave_id, len(work))
+        if self._track_rtt:
             self._flight_ts.setdefault(slave_id, deque()).append(
                 now if now is not None else 0.0
             )
@@ -282,19 +298,36 @@ class MasterLogic:
         self.stopped.add(slave_id)
         self.in_flight.pop(slave_id, None)
         self._flight_ts.pop(slave_id, None)
+        self.policy.note_slave_stopped(slave_id)
 
-    def _compute_request(self, slave_id: int, p: int, p_prime: int) -> int:
+    def _compute_request(
+        self, slave_id: int, p: int, p_prime: int, now: float | None = None
+    ) -> int:
+        """Grant size E for this reply, delegated to the dispatch policy.
+
+        Passivity is a protocol invariant (a passive slave must never be
+        asked for pairs or termination deadlocks), so it is enforced here
+        rather than left to policies.
+        """
         if slave_id in self.passive:
             return 0
-        delta = self.n_slaves / max(1, self.active_slaves)
-        if p > 0:
-            alpha = p / p_prime if p_prime > 0 else float(self.n_slaves)
-        else:
-            # The slave offered nothing (bootstrap or a zero request last
-            # round): prime the flow with a plain δ·batchsize request.
-            alpha = 1.0
-        e = min(alpha * delta * self.batchsize, self.nfree / max(1, self.n_slaves))
-        return max(0, int(e))
+        batches, pairs = self.policy.queue_depth(slave_id)
+        ctx = RequestContext(
+            slave_id=slave_id,
+            p=p,
+            p_prime=p_prime,
+            batchsize=self.batchsize,
+            nfree=self.nfree,
+            workbuf_depth=len(self.workbuf),
+            workbuf_capacity=self.workbuf_capacity,
+            n_slaves=self.n_slaves,
+            active_slaves=self.active_slaves,
+            passive=False,
+            in_flight_batches=batches,
+            in_flight_pairs=pairs,
+            now=now,
+        )
+        return max(0, int(self.policy.request(ctx)))
 
     def _all_done(self, slave_id: int) -> bool:
         """May this slave be stopped outright?"""
@@ -351,6 +384,11 @@ class MasterLogic:
         self.waiting.discard(slave_id)
         self.pending_results[slave_id] = False
         self._flight_ts.pop(slave_id, None)
+        # Clear the policy's in-flight mirror *before* the engine gets a
+        # chance to drain or reabsorb: grants issued just before a
+        # drain_workbuf on the degraded-recovery path would otherwise
+        # double-count the dead slave's pairs in the JBSQ queue-depth view.
+        self.policy.note_slave_lost(slave_id)
         requeued = 0
         for batch in self.in_flight.pop(slave_id, ()):
             for pair in batch:
@@ -376,6 +414,8 @@ class MasterLogic:
         self.pending_results.pop(slave_id, None)
         self.in_flight.pop(slave_id, None)
         self._flight_ts.pop(slave_id, None)
+        # The replacement process starts with nothing in flight.
+        self.policy.note_slave_lost(slave_id)
 
     def absorb_pairs(self, pairs: Iterable[Pair], *, now: float | None = None) -> int:
         """Admit engine-regenerated pairs (degraded recovery) through the

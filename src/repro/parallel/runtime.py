@@ -17,6 +17,8 @@ restart budget); recovery events land in ``result.faults``.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.core.config import ClusteringConfig
 from repro.core.results import ClusteringResult
 from repro.parallel.cost_model import CostModel
@@ -42,6 +44,7 @@ def simulate_clustering(
     tolerance: FaultTolerance | None = None,
     telemetry: Telemetry | None = None,
     monitor: RunMonitor | None = None,
+    dispatch_policy: str | None = None,
 ) -> SimulationReport:
     """Run one simulated parallel clustering and return its full report.
 
@@ -49,8 +52,12 @@ def simulate_clustering(
     sweep (construction is deterministic, so this does not change
     results — only saves host time).  ``telemetry`` records the run
     (virtual-time trace, metrics, phase accounting) onto
-    ``report.result.telemetry``.
+    ``report.result.telemetry``.  ``dispatch_policy`` overrides the
+    config's work-allocation policy for this run (tournament sweeps share
+    one config across policies).
     """
+    if dispatch_policy is not None:
+        config = replace(config or ClusteringConfig(), dispatch_policy=dispatch_policy)
     machine = SimulatedMachine(
         collection,
         config,
@@ -76,12 +83,16 @@ def run_parallel(
     tolerance: FaultTolerance | None = None,
     telemetry: Telemetry | None = None,
     monitor: RunMonitor | None = None,
+    dispatch_policy: str | None = None,
 ) -> ClusteringResult:
     """Parallel clustering with either engine, returning the result object
     (for the simulated engine, timings are virtual seconds).  ``telemetry``
     instruments the run on either engine with the same span names and
     event schema (the sim-vs-mp parity tests hold the engines to this).
-    ``monitor`` attaches a live run monitor to either engine."""
+    ``monitor`` attaches a live run monitor to either engine;
+    ``dispatch_policy`` overrides the config's work-allocation policy."""
+    if dispatch_policy is not None:
+        config = replace(config or ClusteringConfig(), dispatch_policy=dispatch_policy)
     if machine == "simulated":
         return simulate_clustering(
             collection,

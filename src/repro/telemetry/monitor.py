@@ -447,6 +447,15 @@ class RunMonitor:
             if self.state is not None:
                 self.state.slave_stopped(slave_id)
 
+    def straggler_ids(self) -> tuple[int, ...]:
+        """Slaves currently flagged as stragglers (stale samples), as a
+        thread-safe snapshot.  Pace-aware dispatch policies poll this as
+        their live signal; before :meth:`begin_run` it is empty."""
+        with self._lock:
+            if self.state is None:
+                return ()
+            return tuple(self.state.stragglers())
+
     def finish(self, total_time: float | None = None) -> None:
         """The run completed: pin progress to 1.0, flush a final state
         record and a final status line."""
