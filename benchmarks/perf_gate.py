@@ -1,6 +1,7 @@
-"""Perf gates for the vectorised engines, arena startup and dispatch seam.
+"""Perf gates for the vectorised engines, arena startup, dispatch seam
+and the sharded master.
 
-Four subcommands, each measuring a reference implementation against its
+Five subcommands, each measuring a reference implementation against its
 optimised counterpart on the 30k-scaled dataset, verifying the optimised
 output is *identical* (the oracle property), and writing the numbers as
 JSON.  ``align`` and ``pairs`` gate engine speedups; ``startup`` gates the
@@ -13,9 +14,14 @@ gates the dispatch-policy seam: the ``paper`` policy must reproduce the
 sequential oracle partition bit for bit on *both* parallel engines (the
 seam is refactoring, not behaviour), every policy must agree on the
 partition, and no policy may regress the 30k simulated makespan past
-``--max-makespan-ratio`` of the paper baseline.  The committed
-``BENCH_align.json`` / ``BENCH_pairs.json`` / ``BENCH_startup.json`` /
-``BENCH_dispatch.json`` at the repo root record the reference
+``--max-makespan-ratio`` of the paper baseline.  ``shard`` gates the
+sharded-master seam: sequential, single-master and N-shard runs must
+produce the identical partition on *both* engines (including under
+injected slave crashes with shard-local recovery), and on a
+deliberately master-bound simulated workload N shards must beat the
+single master by ``--min-speedup``.  The committed ``BENCH_align.json``
+/ ``BENCH_pairs.json`` / ``BENCH_startup.json`` / ``BENCH_dispatch.json``
+/ ``BENCH_shard.json`` at the repo root record the reference
 measurements.
 
 Usage::
@@ -24,6 +30,7 @@ Usage::
     python benchmarks/perf_gate.py pairs --out BENCH_pairs.json --min-speedup 3.0
     python benchmarks/perf_gate.py startup --out BENCH_startup.json
     python benchmarks/perf_gate.py dispatch --out BENCH_dispatch.json
+    python benchmarks/perf_gate.py shard --out BENCH_shard.json
 """
 
 from __future__ import annotations
@@ -43,6 +50,7 @@ ALIGN_SCHEMA = "pace-align-gate/1"
 PAIRS_SCHEMA = "pace-pairs-gate/1"
 STARTUP_SCHEMA = "pace-startup-gate/1"
 DISPATCH_SCHEMA = "pace-dispatch-gate/1"
+SHARD_SCHEMA = "pace-shard-gate/1"
 
 
 def _measure(make_run, rounds: int) -> tuple[float, object]:
@@ -351,6 +359,140 @@ def run_dispatch(args) -> int:
     return 0
 
 
+def run_shard(args) -> int:
+    from dataclasses import replace
+
+    from repro.core import PaceClusterer
+    from repro.parallel import (
+        CostModel,
+        FaultPlan,
+        FaultSpec,
+        FaultTolerance,
+        cluster_multiprocessing,
+        simulate_clustering,
+    )
+
+    config = bench_config()
+    col = dataset(30_000).collection
+    gst = dataset_gst(30_000)
+    n_proc = args.slaves + 1
+
+    # --- identity: sharding is a perf layer, never a behaviour -----------
+    # Sequential == single-master == N-shard on both engines, and the
+    # equality must survive injected slave crashes with shard-local
+    # recovery.  Sync cadence is tightened so exchanges actually happen
+    # inside the short gate runs.
+    seq_clusters = PaceClusterer(config).cluster(col).clusters
+    sim_cfg = replace(config, shard_sync_interval=1e-3)
+    sim_single = simulate_clustering(
+        col, sim_cfg, n_processors=n_proc, gst=gst, master_shards=1
+    )
+    sim_sharded = simulate_clustering(
+        col, sim_cfg, n_processors=n_proc, gst=gst, master_shards=args.shards
+    )
+    sim_single_ok = sim_single.result.clusters == seq_clusters
+    sim_shard_ok = sim_sharded.result.clusters == seq_clusters
+
+    mp_cfg = replace(
+        config, master_shards=args.shards, shard_sync_interval=0.05
+    )
+    mp_sharded = cluster_multiprocessing(col, mp_cfg, n_processors=n_proc)
+    mp_shard_ok = mp_sharded.clusters == seq_clusters
+
+    plan = FaultPlan.of(
+        FaultSpec(slave_id=0, kind="kill", at_message=1, incarnation=None),
+        FaultSpec(
+            slave_id=args.slaves - 1,
+            kind="kill_after_send",
+            at_message=0,
+            incarnation=None,
+        ),
+    )
+    tol = FaultTolerance(slave_timeout=30.0, poll_interval=0.05, max_restarts=0)
+    mp_faulted = cluster_multiprocessing(
+        col, mp_cfg, n_processors=n_proc, faults=plan, tolerance=tol
+    )
+    fault_ok = (
+        mp_faulted.clusters == seq_clusters
+        and mp_faulted.faults.slaves_lost >= 2
+    )
+
+    # --- makespan: sharding must relieve a master-bound run --------------
+    # The sim makespan gate uses a deliberately master-bound cost model
+    # (absorption, bookkeeping and message handling dominate; alignment is
+    # nearly free) — the regime ROADMAP 2 targets, where a single master
+    # serialises the run and splitting its WORKBUF/union-find across
+    # shards buys real wall-clock.
+    master_bound = CostModel(
+        master_msg_cost=200e-6,
+        master_pair_cost=30e-6,
+        master_result_cost=20e-6,
+        dp_cell_cost=0.002e-6,
+        align_overhead=2e-6,
+        pair_gen_cost=0.5e-6,
+    )
+    makespans: dict[str, float] = {}
+    for n_shards in sorted({1, args.shards}):
+        rep = simulate_clustering(
+            col,
+            sim_cfg,
+            n_processors=n_proc,
+            gst=gst,
+            cost_model=master_bound,
+            master_shards=n_shards,
+        )
+        makespans[str(n_shards)] = rep.total_time
+        if rep.result.clusters != seq_clusters:
+            sim_shard_ok = False
+    speedup = makespans["1"] / makespans[str(args.shards)]
+
+    record = {
+        "schema": SHARD_SCHEMA,
+        "dataset": 30_000,
+        "n_slaves": args.slaves,
+        "n_shards": args.shards,
+        "sim_single_oracle": sim_single_ok,
+        "sim_shard_oracle": sim_shard_ok,
+        "mp_shard_oracle": mp_shard_ok,
+        "mp_fault_oracle": fault_ok,
+        "sync_rounds": sim_sharded.sync_rounds,
+        "unions_exchanged": sim_sharded.unions_exchanged,
+        "master_bound_makespans": {
+            k: round(v, 4) for k, v in makespans.items()
+        },
+        "shard_speedup": round(speedup, 3),
+        "min_speedup": args.min_speedup,
+        "env": bench_env(),
+    }
+    print(json.dumps(record, indent=2))
+    if args.out is not None:
+        args.out.write_text(json.dumps(record, indent=2) + "\n")
+
+    failures = []
+    if not sim_single_ok:
+        failures.append("single-master sim clusters differ from sequential oracle")
+    if not sim_shard_ok:
+        failures.append("sharded sim clusters differ from sequential oracle")
+    if not mp_shard_ok:
+        failures.append("sharded mp clusters differ from sequential oracle")
+    if not fault_ok:
+        failures.append("sharded mp clusters under faults differ from oracle")
+    if speedup < args.min_speedup:
+        failures.append(
+            f"{args.shards}-shard master-bound speedup {speedup:.2f}x < "
+            f"{args.min_speedup:.2f}x"
+        )
+    if failures:
+        for f in failures:
+            print(f"perf gate FAILED: {f}", file=sys.stderr)
+        return 1
+    print(
+        f"perf gate passed: shard oracles hold, {args.shards}-shard "
+        f"master-bound speedup {speedup:.2f}x"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     sub = parser.add_subparsers(dest="gate", required=True)
@@ -410,6 +552,24 @@ def main(argv: list[str] | None = None) -> int:
                         help="slave count for the oracle/makespan runs "
                              "(default 4)")
     p_disp.set_defaults(func=run_dispatch)
+
+    p_shard = sub.add_parser(
+        "shard", help="sharded-master partition identity + makespan relief"
+    )
+    p_shard.add_argument("--out", type=Path, default=None,
+                         help="write the measurement JSON here")
+    p_shard.add_argument("--shards", type=int, default=4,
+                         help="shard count for the gated runs (default 4)")
+    p_shard.add_argument("--slaves", type=int, default=16,
+                         help="slave count (default 16; the master-bound "
+                              "makespan gate needs enough slaves that the "
+                              "master is the bottleneck)")
+    p_shard.add_argument("--min-speedup", type=float, default=2.0,
+                         help="fail when the N-shard makespan on the "
+                              "master-bound sim workload is not at least "
+                              "this factor below single-master "
+                              "(default 1.5)")
+    p_shard.set_defaults(func=run_shard)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -95,6 +95,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "formula, reproduction-faithful default), 'jbsq' / "
                         "'jbsq:<k>' (bound grants by in-flight batch depth) "
                         "or 'pace' (shrink grants to straggling slaves)")
+    c.add_argument("--master-shards", type=int, default=1, metavar="N",
+                   help="partition the master into N shards, each owning a "
+                        "disjoint slice of the bucket ranges and a subset "
+                        "of the slaves; shards exchange accepted-pair "
+                        "unions periodically (1 = classic single master)")
+    c.add_argument("--shard-sync-interval", type=float, default=0.25,
+                   metavar="S",
+                   help="seconds between cross-shard union-log exchanges "
+                        "(virtual seconds on the simulated machine)")
     c.add_argument("--clusters-fasta-dir", type=Path,
                    help="also write one FASTA per cluster into this directory")
     c.add_argument("--representatives", type=Path, metavar="FASTA",
@@ -198,6 +207,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         pair_engine=args.pair_engine,
         shared_arenas=not args.no_shared_arenas,
         dispatch_policy=args.dispatch_policy,
+        master_shards=args.master_shards,
+        shard_sync_interval=args.shard_sync_interval,
         acceptance=AcceptanceCriteria(
             min_score_ratio=args.min_ratio, min_overlap=args.min_overlap
         ),

@@ -122,9 +122,13 @@ def greedy_cluster_batched(
         if not raw:
             break
         counters.pairs_generated += len(raw)
+        if skip_clustered:
+            co_clustered = manager.same_cluster_batch(raw)
+        else:
+            co_clustered = [False] * len(raw)
         batch: list[Pair] = []
-        for pair in raw:
-            if skip_clustered and manager.same_cluster(pair.est_a, pair.est_b):
+        for pair, skip in zip(raw, co_clustered):
+            if skip:
                 counters.pairs_skipped += 1
                 continue
             if (

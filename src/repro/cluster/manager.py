@@ -47,6 +47,17 @@ class ClusterManager:
         share a cluster is dropped without alignment."""
         return self._uf.same(est_a, est_b)
 
+    def same_cluster_batch(self, pairs: list[Pair]) -> list[bool]:
+        """Batched pair-selection test: one flag per pair, True where the
+        pair's ESTs already share a cluster.  A single ``find_many`` over
+        the flattened EST ids replaces the per-pair Python loop."""
+        flat: list[int] = []
+        for pair in pairs:
+            flat.append(pair.est_a)
+            flat.append(pair.est_b)
+        roots = self._uf.find_many(flat)
+        return [roots[i] == roots[i + 1] for i in range(0, len(roots), 2)]
+
     def seed_union(self, est_a: int, est_b: int) -> bool:
         """Merge two clusters without a witnessing alignment — used to
         restore a previously-computed partition (incremental clustering)."""

@@ -75,6 +75,16 @@ class ClusteringConfig:
     #: / "jbsq:<k>" (join-bounded-shortest-queue over in-flight batches),
     #: or "pace" (straggler-aware grant shrinking from rtt quantiles).
     dispatch_policy: str = "paper"
+    #: Number of master shards (:mod:`repro.parallel.shards`).  ``1`` is
+    #: the paper's single master; ``N > 1`` partitions bucket ownership,
+    #: WORKBUF, dispatch and the union–find across N masters, each driving
+    #: a disjoint subset of slaves, with periodic cross-shard union
+    #: merging.  Must not exceed the slave count of the run.
+    master_shards: int = 1
+    #: Cross-shard merge cadence in seconds (virtual seconds under the
+    #: simulator, wall seconds under the multiprocessing backend).  A pure
+    #: latency/throughput knob: any cadence yields the same partition.
+    shard_sync_interval: float = 0.25
 
     def __post_init__(self) -> None:
         check_positive("w", self.w)
@@ -86,6 +96,8 @@ class ClusteringConfig:
         if self.monitor_port is not None:
             check_positive("monitor_port", self.monitor_port, strict=False)
         check_positive("monitor_interval", self.monitor_interval)
+        check_positive("master_shards", self.master_shards)
+        check_positive("shard_sync_interval", self.shard_sync_interval)
         if self.psi < self.w:
             raise ValueError(
                 f"psi ({self.psi}) must be >= w ({self.w}): buckets split the "

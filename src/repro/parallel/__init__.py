@@ -25,6 +25,7 @@ from repro.parallel.mp_backend import cluster_multiprocessing
 from repro.parallel.partition import BucketAssignment, assign_buckets
 from repro.parallel.protocol import MasterLogic, MasterMsg, SlaveLogic, SlaveMsg
 from repro.parallel.runtime import run_parallel, simulate_clustering
+from repro.parallel.shards import MasterShard, ShardedMaster, ShardPlan, plan_shards
 from repro.parallel.shm import ArenaDescriptor, ArenaRegistry, leaked_segments
 from repro.parallel.sim_machine import SimulatedMachine, SimulationReport
 from repro.parallel.trace import TraceRecorder, render_timeline, utilisation
@@ -58,6 +59,10 @@ __all__ = [
     "SlaveMsg",
     "run_parallel",
     "simulate_clustering",
+    "MasterShard",
+    "ShardedMaster",
+    "ShardPlan",
+    "plan_shards",
     "SimulatedMachine",
     "TraceRecorder",
     "render_timeline",

@@ -259,10 +259,14 @@ def reabsorb_ranges(
     return source.produced, admitted
 
 
-def drain_workbuf(master: "MasterLogic", aligner: "PairAligner") -> int:
+def drain_workbuf(master, aligner: "PairAligner") -> int:
     """Align everything left in WORKBUF in the master itself — the
     last-resort degraded mode when no slave survives.  Returns the number
     of alignments performed.
+
+    ``master`` is a :class:`~repro.parallel.protocol.MasterLogic` or a
+    :class:`~repro.parallel.shards.ShardedMaster` (every shard's WORKBUF
+    is drained in shard order; deterministic either way).
 
     Dispatch-policy state needs no draining here: the in-flight mirrors
     of every dead slave were already cleared by
@@ -271,6 +275,9 @@ def drain_workbuf(master: "MasterLogic", aligner: "PairAligner") -> int:
     requeued pairs in queue-depth policies like JBSQ), and this path is
     only reached once no slave survives to receive another grant.
     """
+    shards = getattr(master, "shards", None)
+    if shards is not None:
+        return sum(drain_workbuf(shard.logic, aligner) for shard in shards)
     aligned = 0
     # WORKBUF empties out-of-band here, so drop its latency timestamps
     # wholesale — there is no dispatch to attribute the dwell time to.

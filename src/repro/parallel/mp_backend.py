@@ -68,8 +68,8 @@ from repro.parallel.faults import (
     drain_workbuf,
     reabsorb_ranges,
 )
-from repro.parallel.partition import assign_buckets
-from repro.parallel.protocol import MasterLogic, SlaveLogic
+from repro.parallel.protocol import SlaveLogic
+from repro.parallel.shards import ShardedMaster, plan_shards
 from repro.parallel.trace import TraceEvent, TraceRecorder
 from repro.sequence.collection import EstCollection
 from repro.suffix.gst import SuffixArrayGst
@@ -353,9 +353,10 @@ def cluster_multiprocessing(
         gst = SuffixArrayGst.build(collection)
     with tel.span("partitioning"):
         ranges = gst.bucket_ranges(config.w)
-        assignment = assign_buckets(ranges, n_slaves)
+        plan = plan_shards(ranges, n_slaves, config.master_shards)
+    n_shards = plan.n_shards
     ranges_of = [
-        [(lo, hi) for _key, lo, hi in assignment.per_processor[k]]
+        [(lo, hi) for _key, lo, hi in plan.slave_ranges[k]]
         for k in range(n_slaves)
     ]
 
@@ -402,14 +403,18 @@ def cluster_multiprocessing(
     all_procs: list[mp.process.BaseProcess] = []
     all_conns: list[Connection] = []
     stats: dict[int, _SlaveStats] = {}
-    master = MasterLogic(
+    master = ShardedMaster(
+        plan,
         n_ests=collection.n_ests,
-        n_slaves=n_slaves,
         batchsize=config.batchsize,
         workbuf_capacity=config.workbuf_capacity,
         latency=tel.latency,  # None when telemetry is off
         policy=config.dispatch_policy,
     )
+    # Wall seconds the coordinator spent inside each shard's state machine
+    # (only accumulated when telemetry is on; feeds busy.shard*.seconds).
+    shard_busy = [0.0] * n_shards
+    last_sync = time.monotonic()
     lat = tel.latency
     # Pace-aware policies consume round-trip times even with latency
     # tracing off; tel.now() is valid on a disabled session.
@@ -526,6 +531,7 @@ def cluster_multiprocessing(
                 monitor.record_fault("slave_errors")
             raise SlaveFailure(handle.slave_id, msg.traceback)
         handle.expecting_since = None
+        shard = master.shard_for(handle.slave_id)
         if lat is not None:
             t_now = tel.now()
             if msg.sent_at >= 0:
@@ -537,10 +543,12 @@ def cluster_multiprocessing(
         else:
             reply = master.on_message(msg)
         if rec is not None:
+            t_done = tel.now()
             rec.compute(
-                "master", t_recv, tel.now(), f"incorporate slave{handle.slave_id}"
+                "master", t_recv, t_done, f"incorporate slave{handle.slave_id}"
             )
-        tel.observe("master.workbuf_depth", len(master.workbuf), DEFAULT_BUCKETS)
+            shard_busy[shard.shard_id] += t_done - t_recv
+        tel.observe("master.workbuf_depth", shard.logic.workbuf_depth, DEFAULT_BUCKETS)
         if reply is not None:
             if not send_reply(handle, reply):
                 deaths.add(handle.slave_id)
@@ -582,10 +590,12 @@ def cluster_multiprocessing(
                 f"{requeued} pairs requeued)",
             )
         else:
-            # Degrade: regenerate the lost slave's pairs in the master and
-            # let the survivors (or the master itself) align them.
+            # Degrade: regenerate the lost slave's pairs in its owning
+            # shard and let the survivors (or the master itself) align
+            # them — shard ownership of the dead slave's buckets is
+            # handed off to its shard's master, never to another shard.
             produced, admitted = reabsorb_ranges(
-                master,
+                master.shard_for(slave_id).logic,
                 gst,
                 psi=config.psi,
                 ranges=ranges_of[slave_id],
@@ -673,14 +683,37 @@ def cluster_multiprocessing(
                                 cpu_seconds=master_sampler.cpu_seconds(),
                             )
                         )
+                    stats_now = master.stats
                     monitor.set_master(
                         ts=wall - t0,
-                        workbuf_depth=len(master.workbuf),
-                        messages=master.stats.messages,
-                        merges=master.stats.merges,
-                        pairs_dispatched=master.stats.pairs_dispatched,
+                        workbuf_depth=master.workbuf_depth,
+                        messages=stats_now.messages,
+                        merges=stats_now.merges,
+                        pairs_dispatched=stats_now.pairs_dispatched,
                     )
                     monitor.maybe_report(wall - t0)
+
+                # Cross-shard union exchange on a wall-clock cadence (a
+                # single shard never syncs; the cadence is a pure
+                # latency/throughput knob, never a correctness one).
+                if (
+                    n_shards > 1
+                    and time.monotonic() - last_sync >= config.shard_sync_interval
+                ):
+                    last_sync = time.monotonic()
+                    t_sync = tel.now() if rec is not None else 0.0
+                    per_shard = master.sync()
+                    if rec is not None:
+                        t_done = tel.now()
+                        applied = sum(a for a, _ in per_shard)
+                        pruned = sum(p for _, p in per_shard)
+                        rec.compute(
+                            "master", t_sync, t_done,
+                            f"shard sync: {applied} unions, {pruned} pruned",
+                        )
+                        for j in range(n_shards):
+                            shard_busy[j] += (t_done - t_sync) / n_shards
+                    flush_wait_queue(deaths)
 
                 # Pipes first: a dying slave may have flushed final
                 # messages (or a typed error report) before exiting.
@@ -742,7 +775,7 @@ def cluster_multiprocessing(
                             f"{sorted(master.stopped)} stopped)"
                         )
 
-            if master.workbuf:
+            if master.workbuf_depth:
                 # Only reachable when slaves died with restarts exhausted:
                 # their ranges were reabsorbed into WORKBUF but no slave
                 # survived to align them, so the master finishes the
@@ -762,11 +795,12 @@ def cluster_multiprocessing(
             if not master.finished():  # pragma: no cover - protocol invariant
                 raise RuntimeError("runtime exited before every slave stopped")
             if monitor is not None:
+                final_stats = master.stats
                 monitor.set_master(
-                    workbuf_depth=len(master.workbuf),
-                    messages=master.stats.messages,
-                    merges=master.stats.merges,
-                    pairs_dispatched=master.stats.pairs_dispatched,
+                    workbuf_depth=master.workbuf_depth,
+                    messages=final_stats.messages,
+                    merges=final_stats.merges,
+                    pairs_dispatched=final_stats.pairs_dispatched,
                 )
                 monitor.finish(time.monotonic() - t0)
     finally:
@@ -792,35 +826,43 @@ def cluster_multiprocessing(
     # stats and are counted explicitly, rather than silently undercounted.
     fault_counters.incomplete_slaves = n_slaves - len(stats)
     local_dp_cells = local_aligner.dp_cells_total if local_aligner else 0
+    agg_stats = master.stats
     counters = WorkCounters(
         pairs_generated=sum(
             stats.get(k, _ZERO_STATS).produced for k in range(n_slaves)
         )
         + local_generated,
-        pairs_skipped=master.stats.pairs_offered - master.stats.pairs_admitted,
+        pairs_skipped=agg_stats.pairs_offered - agg_stats.pairs_admitted,
         pairs_processed=sum(
             stats.get(k, _ZERO_STATS).alignments for k in range(n_slaves)
         )
         + local_aligned,
-        pairs_accepted=master.stats.results_accepted,
+        pairs_accepted=agg_stats.results_accepted,
         dp_cells=sum(stats.get(k, _ZERO_STATS).dp_cells for k in range(n_slaves))
         + local_dp_cells,
     )
     snapshot = None
     if telemetry is not None:
         tel.record_faults(fault_counters)
-        tel.count("messages.exchanged", master.stats.messages)
+        tel.count("messages.exchanged", agg_stats.messages)
+        if n_shards > 1:
+            for j, busy_j in enumerate(shard_busy):
+                tel.set_gauge(f"busy.shard{j}.seconds", busy_j)
+            tel.count("shard.sync_rounds", master.sync_rounds)
+            tel.count("shard.unions_exchanged", master.unions_exchanged)
+            tel.count("shard.pairs_pruned", master.pairs_pruned)
         snapshot = tel.snapshot(
             engine="multiprocessing",
             n_processors=n_processors,
             clock="wall",
         )
+    manager = master.combined()
     return ClusteringResult(
         n_ests=collection.n_ests,
-        clusters=master.manager.clusters(),
+        clusters=manager.clusters(),
         counters=counters,
         timings=timings,
-        merges=list(master.manager.merges),
+        merges=list(manager.merges),
         faults=fault_counters,
         telemetry=snapshot,
     )

@@ -38,11 +38,16 @@ class BucketAssignment:
 
     @property
     def imbalance(self) -> float:
-        """max load / mean load (1.0 = perfect balance)."""
+        """max load / mean load (1.0 = perfect balance).
+
+        Empty or all-zero loads are perfectly balanced by convention and
+        report 1.0; anything below 1.0 would read as better-than-perfect
+        in scorecards and sort wrongly in tournament tables.
+        """
         if not self.loads or sum(self.loads) == 0:
-            return 0.0
+            return 1.0
         mean = sum(self.loads) / len(self.loads)
-        return max(self.loads) / mean if mean else 0.0
+        return max(self.loads) / mean
 
 
 def assign_buckets(

@@ -111,6 +111,7 @@ class MasterStats:
     merges: int = 0
     workbuf_peak: int = 0
     pairs_reassigned: int = 0  # in-flight pairs requeued from lost slaves
+    pairs_pruned: int = 0  # WORKBUF pairs dropped by cross-shard merges
 
 
 class MasterLogic:
@@ -174,6 +175,10 @@ class MasterLogic:
     @property
     def nfree(self) -> int:
         return self.workbuf_capacity - len(self.workbuf)
+
+    @property
+    def workbuf_depth(self) -> int:
+        return len(self.workbuf)
 
     def finished(self) -> bool:
         return len(self.stopped | self.lost) == self.n_slaves
@@ -416,6 +421,30 @@ class MasterLogic:
         self._flight_ts.pop(slave_id, None)
         # The replacement process starts with nothing in flight.
         self.policy.note_slave_lost(slave_id)
+
+    def prune_workbuf(self) -> int:
+        """Drop WORKBUF pairs whose ESTs became co-clustered out-of-band
+        (foreign unions absorbed during a cross-shard merge).  Admission
+        already filters co-clustered pairs, but a merge learned from
+        another shard can retroactively make queued pairs redundant; they
+        would be dropped at dispatch anyway on the sequential-identity
+        argument, so pruning here only saves queue space and alignment
+        work.  Returns the number of pairs dropped."""
+        if not self.workbuf:
+            return 0
+        redundant = self.manager.same_cluster_batch(list(self.workbuf))
+        pruned = sum(redundant)
+        if not pruned:
+            return 0
+        if self.latency is not None and len(self._workbuf_ts) == len(self.workbuf):
+            self._workbuf_ts = deque(
+                ts for ts, skip in zip(self._workbuf_ts, redundant) if not skip
+            )
+        self.workbuf = deque(
+            pair for pair, skip in zip(self.workbuf, redundant) if not skip
+        )
+        self.stats.pairs_pruned += pruned
+        return pruned
 
     def absorb_pairs(self, pairs: Iterable[Pair], *, now: float | None = None) -> int:
         """Admit engine-regenerated pairs (degraded recovery) through the

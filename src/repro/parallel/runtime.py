@@ -45,6 +45,7 @@ def simulate_clustering(
     telemetry: Telemetry | None = None,
     monitor: RunMonitor | None = None,
     dispatch_policy: str | None = None,
+    master_shards: int | None = None,
 ) -> SimulationReport:
     """Run one simulated parallel clustering and return its full report.
 
@@ -54,10 +55,13 @@ def simulate_clustering(
     (virtual-time trace, metrics, phase accounting) onto
     ``report.result.telemetry``.  ``dispatch_policy`` overrides the
     config's work-allocation policy for this run (tournament sweeps share
-    one config across policies).
+    one config across policies); ``master_shards`` likewise overrides the
+    shard count (shard-scaling sweeps share one config across counts).
     """
     if dispatch_policy is not None:
         config = replace(config or ClusteringConfig(), dispatch_policy=dispatch_policy)
+    if master_shards is not None:
+        config = replace(config or ClusteringConfig(), master_shards=master_shards)
     machine = SimulatedMachine(
         collection,
         config,
@@ -84,15 +88,19 @@ def run_parallel(
     telemetry: Telemetry | None = None,
     monitor: RunMonitor | None = None,
     dispatch_policy: str | None = None,
+    master_shards: int | None = None,
 ) -> ClusteringResult:
     """Parallel clustering with either engine, returning the result object
     (for the simulated engine, timings are virtual seconds).  ``telemetry``
     instruments the run on either engine with the same span names and
     event schema (the sim-vs-mp parity tests hold the engines to this).
     ``monitor`` attaches a live run monitor to either engine;
-    ``dispatch_policy`` overrides the config's work-allocation policy."""
+    ``dispatch_policy`` overrides the config's work-allocation policy and
+    ``master_shards`` its shard count (both engines honour sharding)."""
     if dispatch_policy is not None:
         config = replace(config or ClusteringConfig(), dispatch_policy=dispatch_policy)
+    if master_shards is not None:
+        config = replace(config or ClusteringConfig(), master_shards=master_shards)
     if machine == "simulated":
         return simulate_clustering(
             collection,
