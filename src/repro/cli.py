@@ -14,6 +14,9 @@ the equivalent driver surface::
     pace-est diff baseline.jsonl candidate.jsonl --threshold 0.25
     pace-est monitor http://127.0.0.1:9100 --watch 2
     pace-est monitor live.jsonl
+    pace-est cluster ests.fa --parallel 4 --obs-out run1/
+    pace-est perfetto run1/trace.jsonl
+    pace-est postmortem run1/
 
 ``cluster`` writes a two-column TSV (EST name, cluster id) and, with
 ``--telemetry-out``, the run's full telemetry stream as JSONL;
@@ -29,7 +32,10 @@ critical-path stage, per-slave imbalance and straggler hints;
 quantile regressed past the threshold (the CI latency gate); ``monitor``
 renders a live progress table from a running cluster's
 ``--monitor-port`` endpoint or replays a finished run's ``--live-out``
-JSONL stream.
+JSONL stream; ``perfetto`` exports a trace as Chrome trace-event JSON
+for the Perfetto UI; ``postmortem`` reconstructs a failed run's merged
+timeline from an ``--obs-out`` directory (flight-recorder dumps
+included) and names the work units that were in flight when it died.
 
 Diagnostics go through :mod:`repro.util.logging` (structured one-line
 ``key=value`` records on stderr); data output — cluster TSVs, reports,
@@ -125,6 +131,22 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--monitor-linger", type=float, default=0.0, metavar="S",
                    help="keep the monitor endpoint serving the final "
                         "state for S seconds after the run completes")
+    c.add_argument("--causal-trace", action="store_true",
+                   help="mint a work-unit id per dispatched pair batch and "
+                        "record its lifecycle (generated → dispatched → "
+                        "absorbed/requeued/pruned) in the telemetry stream; "
+                        "requires --telemetry-out (or --obs-out)")
+    c.add_argument("--flight-dir", type=Path, metavar="DIR",
+                   help="arm a crash flight recorder in every process: a "
+                        "bounded event ring dumped to DIR/flight-<actor>.json "
+                        "on crash, SIGTERM or fault-tolerance transitions")
+    c.add_argument("--obs-out", type=Path, metavar="DIR",
+                   help="one-stop observability directory: implies "
+                        "--telemetry-out DIR/trace.jsonl, --live-out "
+                        "DIR/live.jsonl, --flight-dir DIR and --causal-trace, "
+                        "all under one shared run id, plus a Perfetto "
+                        "timeline at DIR/timeline.perfetto.json "
+                        "(inspect with 'pace-est postmortem DIR')")
     c.add_argument("--no-shared-arenas", action="store_true",
                    help="disable shared-memory arenas for the real "
                         "multiprocessing machine (slaves then receive a "
@@ -154,9 +176,36 @@ def build_parser() -> argparse.ArgumentParser:
     a = sub.add_parser(
         "analyze",
         help="work-unit latency analysis of a telemetry trace: per-stage "
-             "quantiles, critical path, slave imbalance",
+             "quantiles, critical path, slave imbalance, and (with "
+             "--causal-trace data) the work-unit conservation check",
     )
     a.add_argument("trace", type=Path, help="JSONL file from --telemetry-out")
+    a.add_argument("--strict-conservation", action="store_true",
+                   help="exit 1 when the work-unit conservation check finds "
+                        "orphaned or double-absorbed units (the CI gate)")
+
+    pf = sub.add_parser(
+        "perfetto",
+        help="export a telemetry JSONL trace as Chrome trace-event JSON "
+             "(load in Perfetto / chrome://tracing): one track per master "
+             "shard and slave, flow arrows from dispatch to absorb",
+    )
+    pf.add_argument("trace", type=Path, help="JSONL file from --telemetry-out")
+    pf.add_argument("-o", "--output", type=Path, metavar="JSON",
+                    help="output path (default: <trace>.perfetto.json)")
+
+    pm = sub.add_parser(
+        "postmortem",
+        help="reconstruct a run's causally-ordered timeline from an "
+             "observability directory (--obs-out): per-actor last known "
+             "state, in-flight work units, flight-recorder dumps, "
+             "conservation check; exits 1 if the evidence is inconsistent",
+    )
+    pm.add_argument("directory", type=Path,
+                    help="directory holding the run's *.jsonl streams and "
+                         "flight-*.json dumps")
+    pm.add_argument("--tail", type=int, default=25, metavar="N",
+                    help="merged-timeline events to show (default 25)")
 
     d = sub.add_parser(
         "diff",
@@ -197,6 +246,22 @@ def _read_assignments(path: Path) -> dict[str, str]:
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
+    if args.obs_out is not None:
+        # One directory, one run id, every sink: the fan-out keeps the
+        # individual flags composable (explicit flags win over defaults).
+        args.obs_out.mkdir(parents=True, exist_ok=True)
+        if args.telemetry_out is None:
+            args.telemetry_out = args.obs_out / "trace.jsonl"
+        if args.live_out is None:
+            args.live_out = args.obs_out / "live.jsonl"
+        if args.flight_dir is None:
+            args.flight_dir = args.obs_out
+        args.causal_trace = True
+    if args.causal_trace and args.telemetry_out is None:
+        raise SystemExit(
+            "--causal-trace records ride the telemetry stream: add "
+            "--telemetry-out FILE (or use --obs-out DIR)"
+        )
     records = read_fasta(args.fasta)
     collection = EstCollection.from_records(records)
     config = ClusteringConfig(
@@ -209,6 +274,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         dispatch_policy=args.dispatch_policy,
         master_shards=args.master_shards,
         shard_sync_interval=args.shard_sync_interval,
+        causal_tracing=args.causal_trace,
+        flight_dir=str(args.flight_dir) if args.flight_dir is not None else None,
         acceptance=AcceptanceCriteria(
             min_score_ratio=args.min_ratio, min_overlap=args.min_overlap
         ),
@@ -257,6 +324,12 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         log.info(
             "telemetry written", records=n_records, path=args.telemetry_out
         )
+    if args.obs_out is not None and args.telemetry_out is not None:
+        from repro.telemetry import export_chrome_trace
+
+        timeline = args.obs_out / "timeline.perfetto.json"
+        n_events = export_chrome_trace(load_jsonl(args.telemetry_out), timeline)
+        log.info("perfetto timeline written", events=n_events, path=timeline)
 
     print(result.summary(), file=sys.stderr)
     print(profile_clusters(result.clusters), file=sys.stderr)
@@ -394,13 +467,46 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.telemetry import analyze_trace
+    from repro.telemetry.analyze import conservation_section
 
     records = load_jsonl(args.trace)
     problems = validate_records(records)
     for problem in problems:
         _log.warning("schema problem", detail=problem)
     print(analyze_trace(records))
+    if args.strict_conservation:
+        _, errors = conservation_section(records)
+        if errors:
+            _log.error(
+                "work-unit conservation violated",
+                problems=errors,
+                trace=args.trace,
+            )
+            return 1
     return 0
+
+
+def _cmd_perfetto(args: argparse.Namespace) -> int:
+    from repro.telemetry import export_chrome_trace
+
+    records = load_jsonl(args.trace)
+    problems = validate_records(records)
+    for problem in problems:
+        _log.warning("schema problem", detail=problem)
+    output = args.output
+    if output is None:
+        output = args.trace.with_suffix(".perfetto.json")
+    n_events = export_chrome_trace(records, output)
+    _log.info("perfetto trace written", events=n_events, path=output)
+    return 0
+
+
+def _cmd_postmortem(args: argparse.Namespace) -> int:
+    from repro.telemetry import build_postmortem
+
+    report, ok = build_postmortem(args.directory, tail=args.tail)
+    print(report)
+    return 0 if ok else 1
 
 
 def _cmd_diff(args: argparse.Namespace) -> int:
@@ -465,6 +571,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "perfetto":
+        return _cmd_perfetto(args)
+    if args.command == "postmortem":
+        return _cmd_postmortem(args)
     if args.command == "diff":
         return _cmd_diff(args)
     if args.command == "monitor":

@@ -85,6 +85,18 @@ class ClusteringConfig:
     #: simulator, wall seconds under the multiprocessing backend).  A pure
     #: latency/throughput knob: any cadence yields the same partition.
     shard_sync_interval: float = 0.25
+    #: Causal work-unit tracing (:mod:`repro.telemetry.causal`): mint a
+    #: work-unit id per generated pair batch and record its lifecycle
+    #: (generated → dispatched → aligned → absorbed/requeued/pruned) into
+    #: the telemetry event stream.  Requires telemetry to be enabled on
+    #: the run; off by default so reference traces stay byte-identical.
+    causal_tracing: bool = False
+    #: Directory for crash flight-recorder dumps
+    #: (:mod:`repro.telemetry.flight`): each process keeps a bounded ring
+    #: of recent protocol events and dumps it there on crash,
+    #: fault-tolerance transitions, or SIGTERM.  ``None`` disables the
+    #: recorders entirely.
+    flight_dir: str | None = None
 
     def __post_init__(self) -> None:
         check_positive("w", self.w)

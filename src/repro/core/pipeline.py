@@ -33,6 +33,7 @@ from repro.pairs.batch import make_pair_generator
 from repro.sequence.collection import EstCollection
 from repro.suffix.gst import NaiveGst, SuffixArrayGst
 from repro.telemetry import Telemetry
+from repro.telemetry.causal import CausalRecorder, UnitMinter
 from repro.telemetry.live import LiveSample, ResourceSampler
 from repro.telemetry.monitor import RunMonitor
 from repro.util.timing import TimingBreakdown
@@ -83,6 +84,48 @@ def _timed_pair_stream(
             return
         lat.observe("generate", now() - t0)
         yield from chunk
+
+
+def _causal_stream(
+    stream: Iterable[Pair],
+    crec: CausalRecorder,
+    manager: ClusterManager,
+    now,
+    batchsize: int,
+    skip_clustered: bool,
+) -> Iterator[Pair]:
+    """Yield the stream unchanged while minting one work unit per
+    batchsize chunk and recording its lifecycle.
+
+    The sequential driver is its own master *and* slave, so each unit is
+    master-minted and absorbed in place (reason ``"drain"``, same as the
+    parallel master aligning locally).  The absorbed/pruned split mirrors
+    the consumer's skip-clustered decision at yield time — best-effort
+    for batched aligners, but the unit's balance is exact either way
+    (both buckets settle on the WORKBUF side of the conservation check).
+    """
+    mint = UnitMinter(-1)
+    it = iter(stream)
+    while True:
+        chunk = list(itertools.islice(it, batchsize))
+        if not chunk:
+            return
+        unit = mint()
+        ts = now()
+        crec.record("generated", unit, len(chunk), actor="master", ts=ts)
+        crec.record("admitted", unit, len(chunk), actor="master", ts=ts)
+        absorbed = pruned = 0
+        for pair in chunk:
+            if skip_clustered and manager.same_cluster(pair.est_a, pair.est_b):
+                pruned += 1
+            else:
+                absorbed += 1
+            yield pair
+        ts = now()
+        if absorbed:
+            crec.record("absorbed", unit, absorbed, actor="master", ts=ts, reason="drain")
+        if pruned:
+            crec.record("pruned", unit, pruned, actor="master", ts=ts, reason="drain")
 
 
 class PaceClusterer:
@@ -149,6 +192,12 @@ class PaceClusterer:
                 pair_stream, lat, tel.now, cfg.batchsize
             )
             aligner = _TimedAligner(aligner, lat, tel.now)
+        crec = CausalRecorder() if (cfg.causal_tracing and tel.enabled) else None
+        if crec is not None:
+            pair_stream = _causal_stream(
+                pair_stream, crec, manager, tel.now, cfg.batchsize,
+                cfg.skip_clustered,
+            )
         if monitor is not None:
             if tel.enabled and not tel.run_id:
                 tel.run_id = monitor.run_id
@@ -187,6 +236,8 @@ class PaceClusterer:
 
         snapshot = None
         if telemetry is not None:
+            if crec is not None:
+                tel.events.extend(crec.as_records())
             tel.count("pairs.produced", counters.pairs_generated)
             snapshot = tel.snapshot(engine="sequential", n_processors=1)
         return ClusteringResult(

@@ -202,6 +202,16 @@ class DispatchPolicy:
         """``(batches, pairs)`` currently mirrored in flight."""
         return self._batches.get(slave_id, 0), self._pairs.get(slave_id, 0)
 
+    def debug_state(self) -> dict:
+        """A JSON-safe snapshot of the policy's live view, embedded in
+        flight-recorder dumps so `pace-est postmortem` can report what
+        the master believed each slave was holding when the run died."""
+        return {
+            "policy": self.name,
+            "in_flight_batches": {str(k): v for k, v in self._batches.items()},
+            "in_flight_pairs": {str(k): v for k, v in self._pairs.items()},
+        }
+
 
 class PaperFormula(DispatchPolicy):
     """The paper's formula, verbatim — the reproduction-fidelity default.
@@ -352,6 +362,15 @@ class PaceAware(DispatchPolicy):
         if base <= 0:
             return base
         return int(base * self.pace_factor(ctx.slave_id))
+
+    def debug_state(self) -> dict:
+        state = super().debug_state()
+        state["rtt_p90"] = {
+            str(k): self._p90(w)
+            for k, w in self._rtts.items()
+            if len(w) >= self.min_samples
+        }
+        return state
 
 
 def parse_policy(spec: str) -> tuple[str, dict]:

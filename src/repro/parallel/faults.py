@@ -33,7 +33,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.pairs.ondemand import OnDemandPairGenerator
 from repro.pairs.batch import VectorPairGenerator
@@ -158,6 +158,10 @@ class FaultInjector:
             () if plan is None else plan.for_slave(slave_id, incarnation)
         )
         self.msg_index = 0
+        #: Called just before an injected ``kill``/``kill_after_send``
+        #: terminates the process — the flight recorder's last chance to
+        #: dump (a real crash has an except clause; ``os._exit`` doesn't).
+        self.on_fatal: "Callable[[str], object] | None" = None
 
     def _match(self, *kinds: str) -> FaultSpec | None:
         for spec in self._specs:
@@ -177,12 +181,16 @@ class FaultInjector:
         if self._match("hang") is not None:
             time.sleep(_HANG_SECONDS)
         if self._match("kill") is not None:
+            if self.on_fatal is not None:
+                self.on_fatal("injected-kill")
             os._exit(KILLED_EXIT_CODE)
 
     def after_send(self) -> None:
         spec = self._match("kill_after_send")
         self.msg_index += 1
         if spec is not None:
+            if self.on_fatal is not None:
+                self.on_fatal("injected-kill")
             os._exit(KILLED_EXIT_CODE)
 
 
@@ -259,7 +267,7 @@ def reabsorb_ranges(
     return source.produced, admitted
 
 
-def drain_workbuf(master, aligner: "PairAligner") -> int:
+def drain_workbuf(master, aligner: "PairAligner", *, now: float | None = None) -> int:
     """Align everything left in WORKBUF in the master itself — the
     last-resort degraded mode when no slave survives.  Returns the number
     of alignments performed.
@@ -277,15 +285,26 @@ def drain_workbuf(master, aligner: "PairAligner") -> int:
     """
     shards = getattr(master, "shards", None)
     if shards is not None:
-        return sum(drain_workbuf(shard.logic, aligner) for shard in shards)
+        return sum(drain_workbuf(shard.logic, aligner, now=now) for shard in shards)
     aligned = 0
     # WORKBUF empties out-of-band here, so drop its latency timestamps
     # wholesale — there is no dispatch to attribute the dwell time to.
     master._workbuf_ts.clear()
+    causal = master.causal
+    units = master._workbuf_units if causal is not None else None
+    absorbed: dict[int, int] = {}
+    skipped: dict[int, int] = {}
     while master.workbuf:
         pair = master.workbuf.popleft()
+        unit = None
+        if units is not None:
+            unit = units.popleft() if units else -1
         if master.manager.same_cluster(pair.est_a, pair.est_b):
+            if unit is not None:
+                skipped[unit] = skipped.get(unit, 0) + 1
             continue
+        if unit is not None:
+            absorbed[unit] = absorbed.get(unit, 0) + 1
         result, accepted = aligner.align_and_decide(pair)
         master.stats.results_received += 1
         aligned += 1
@@ -293,4 +312,16 @@ def drain_workbuf(master, aligner: "PairAligner") -> int:
             master.stats.results_accepted += 1
             master.manager.merge(pair, result)
             master.stats.merges += 1
+    if causal is not None:
+        t = now if now is not None else 0.0
+        actor = master.causal_actor
+        for unit, n in absorbed.items():
+            if unit >= 0:
+                # Master-side alignment is both the dispatch and the
+                # absorb of these pairs; record the terminal event only.
+                causal.record("absorbed", unit, n, actor=actor, ts=t, reason="drain")
+        for unit, n in skipped.items():
+            if unit >= 0:
+                causal.record("pruned", unit, n, actor=actor, ts=t, reason="drain")
+        master._workbuf_units.clear()
     return aligned

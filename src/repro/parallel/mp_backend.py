@@ -74,6 +74,8 @@ from repro.parallel.trace import TraceEvent, TraceRecorder
 from repro.sequence.collection import EstCollection
 from repro.suffix.gst import SuffixArrayGst
 from repro.telemetry import Telemetry
+from repro.telemetry.causal import CausalRecorder, UnitMinter, format_unit
+from repro.telemetry.flight import FlightRecorder
 from repro.telemetry.live import MASTER_ID, LiveSample, ResourceSampler
 from repro.telemetry.monitor import RunMonitor
 from repro.telemetry.registry import DEFAULT_BUCKETS
@@ -104,6 +106,8 @@ class _SlaveStats:
     events: tuple[TraceEvent, ...] = ()
     span_events: tuple[dict, ...] = ()
     metrics: dict | None = None
+    #: Causal work-unit lifecycle records (``config.causal_tracing``).
+    causal_events: tuple[dict, ...] = ()
 
 
 _ZERO_STATS = _SlaveStats(produced=0, alignments=0, dp_cells=0)
@@ -164,6 +168,20 @@ def _slave_worker(
         Telemetry(origin=telemetry_origin) if telemetry_origin is not None else None
     )
     actor = f"slave{slave_id}"
+    causal_on = config.causal_tracing and tel is not None
+    crec = CausalRecorder() if causal_on else None
+    flight: FlightRecorder | None = None
+    if config.flight_dir is not None:
+        flight = FlightRecorder(
+            config.flight_dir,
+            actor,
+            clock=tel.now if tel is not None else time.monotonic,
+        )
+        flight.note("spawned", incarnation=incarnation)
+        flight.install_sigterm()
+        # Injected kills call os._exit directly (no except clause fires),
+        # so the injector dumps the ring for us on its way out.
+        injector.on_fatal = flight.dump
     registry: ArenaRegistry | None = None
     try:
         if isinstance(source, GstBundle):
@@ -185,7 +203,26 @@ def _slave_worker(
             aligner=aligner,
             batchsize=config.batchsize,
             pairbuf_capacity=config.pairbuf_capacity,
+            minter=UnitMinter(slave_id, incarnation) if causal_on else None,
         )
+
+        def drain_causal() -> None:
+            """Stamp the logic's clock-free causal facts with this
+            process's wall clock (same origin as the master's)."""
+            ts = tel.now()
+            for event, unit, n in logic.drain_causal():
+                crec.record(event, unit, n, actor=actor, ts=ts)
+
+        if flight is not None:
+            # Dump-time snapshot of what this slave was holding.
+            flight.state_provider = lambda: {
+                "incarnation": incarnation,
+                "msg_index": injector.msg_index,
+                "pairbuf_depth": len(logic.pairbuf),
+                "produced": logic.generator.produced,
+                "alignments": logic.total_alignments,
+                "exhausted": logic.generator.exhausted,
+            }
         sampler = ResourceSampler() if sample_interval is not None else None
         last_sample = 0.0
         if sampler is not None:
@@ -214,6 +251,8 @@ def _slave_worker(
         lat = tel.latency if tel is not None else None
         t_start = tel.now() if tel is not None else 0.0
         out = logic.bootstrap()
+        if crec is not None:
+            drain_causal()
         if tel is not None:
             tel.trace.compute(actor, t_start, tel.now(), "bootstrap")
         while True:
@@ -230,9 +269,18 @@ def _slave_worker(
                     f"to master: {out.n_results} results, {out.n_pairs} pairs",
                 )
                 out = replace(out, sent_at=tel.now())
+            if flight is not None:
+                flight.note(
+                    "send",
+                    msg=injector.msg_index,
+                    results=out.n_results,
+                    pairs=out.n_pairs,
+                )
             conn.send(out)
             injector.after_send()
             reply = conn.recv()
+            if flight is not None:
+                flight.note("recv", work=len(reply.work))
             if tel is not None:
                 t_start = tel.now()
                 tel.trace.recv(actor, t_start, "reply from master")
@@ -256,6 +304,8 @@ def _slave_worker(
                     lat.observe("generate", tel.now() - t_aligned)
             else:
                 out = logic.step(reply)
+            if crec is not None:
+                drain_causal()
             if tel is not None:
                 tel.trace.compute(actor, t_start, tel.now(), "step")
             if out is None:
@@ -271,6 +321,7 @@ def _slave_worker(
                         events=tuple(tel.trace.events) if tel is not None else (),
                         span_events=tuple(tel.events) if tel is not None else (),
                         metrics=tel.registry.snapshot() if tel is not None else None,
+                        causal_events=tuple(crec.events) if crec is not None else (),
                     )
                 )
                 conn.close()
@@ -280,8 +331,12 @@ def _slave_worker(
     except _PIPE_ERRORS:
         # The master went away (or tore this pipe down on purpose);
         # there is nobody left to report to.
+        if flight is not None:
+            flight.dump("pipe-lost")
         os._exit(_EXIT_PIPE_LOST)
     except BaseException:
+        if flight is not None:
+            flight.dump("crash")
         try:
             conn.send(_SlaveError(slave_id=slave_id, traceback=traceback.format_exc()))
         except Exception:
@@ -345,6 +400,7 @@ def cluster_multiprocessing(
         owns_monitor = True
     tel = telemetry if telemetry is not None else Telemetry(enabled=False)
     rec = tel.trace if tel.enabled else None
+    causal = CausalRecorder() if (config.causal_tracing and tel.enabled) else None
     timings = TimingBreakdown(registry=tel.registry)
     n_slaves = n_processors - 1
     fault_counters = FaultCounters()
@@ -410,6 +466,7 @@ def cluster_multiprocessing(
         workbuf_capacity=config.workbuf_capacity,
         latency=tel.latency,  # None when telemetry is off
         policy=config.dispatch_policy,
+        causal=causal,
     )
     # Wall seconds the coordinator spent inside each shard's state machine
     # (only accumulated when telemetry is on; feeds busy.shard*.seconds).
@@ -417,8 +474,9 @@ def cluster_multiprocessing(
     last_sync = time.monotonic()
     lat = tel.latency
     # Pace-aware policies consume round-trip times even with latency
-    # tracing off; tel.now() is valid on a disabled session.
-    clocked = lat is not None or master.policy.wants_rtt
+    # tracing off, and causal events are stamped with the run clock;
+    # tel.now() is valid on a disabled session.
+    clocked = lat is not None or master.policy.wants_rtt or causal is not None
     if monitor is not None:
         # Straggler-aware policies read the monitor's live view.
         master.policy.attach_signals(getattr(monitor, "straggler_ids", None))
@@ -428,11 +486,46 @@ def cluster_multiprocessing(
     local_aligned = 0
     local_aligner: PairAligner | None = None
 
+    def master_flight_state() -> dict:
+        """Dump-time snapshot of master custody (flight recorder)."""
+        state = {
+            "workbuf_depth": master.workbuf_depth,
+            "live": sorted(live),
+            "stopped": sorted(master.stopped),
+            "policy": master.policy.debug_state(),
+        }
+        if causal is not None:
+            units: dict[str, list[str]] = {}
+            for shard in master.shards:
+                for sid, batches in shard.logic._flight_units.items():
+                    names = sorted(
+                        {format_unit(u) for batch in batches for u in batch if u >= 0}
+                    )
+                    if names:
+                        units.setdefault(str(sid), []).extend(names)
+            state["in_flight_units"] = units
+        return state
+
+    flight: FlightRecorder | None = None
+    if config.flight_dir is not None:
+        flight = FlightRecorder(
+            config.flight_dir,
+            "master",
+            run_id=tel.run_id or (monitor.run_id if monitor is not None else ""),
+            clock=tel.now,  # valid (0-based wall offsets) even when disabled
+            state_provider=master_flight_state,
+        )
+
     def record_fault(actor: str, detail: str) -> None:
         if trace is not None:
             trace.fault(actor, time.monotonic() - t0, detail)
         if rec is not None and rec is not trace:
             rec.fault(actor, tel.now(), detail)
+        if flight is not None:
+            # Every fault transition refreshes the on-disk ring: the
+            # newest master state is the one a postmortem wants.
+            flight.note("fault", actor=actor, detail=detail)
+            flight.dump("fault-transition", force=True)
 
     def spawn(slave_id: int, incarnation: int) -> _SlaveHandle:
         parent_conn, child_conn = ctx.Pipe()
@@ -523,6 +616,8 @@ def cluster_multiprocessing(
                 tel.trace.extend(msg.events)
                 tel.events.extend(msg.span_events)
                 tel.registry.merge_snapshot(msg.metrics)
+            if causal is not None:
+                causal.extend(msg.causal_events)
             return
         if isinstance(msg, _SlaveError):
             fault_counters.slave_errors += 1
@@ -603,7 +698,7 @@ def cluster_multiprocessing(
                 # Reuse the already-packed shared forests instead of
                 # rebuilding the lost slave's forests from the LCP array.
                 forests=shared.forests_for(slave_id) if shared is not None else None,
-                now=tel.now() if lat is not None else None,
+                now=tel.now() if clocked else None,
             )
             local_generated += produced
             fault_counters.pairs_reassigned += admitted
@@ -691,6 +786,8 @@ def cluster_multiprocessing(
                         merges=stats_now.merges,
                         pairs_dispatched=stats_now.pairs_dispatched,
                     )
+                    if master.n_shards > 1:
+                        monitor.set_shards(master.shard_states())
                     monitor.maybe_report(wall - t0)
 
                 # Cross-shard union exchange on a wall-clock cadence (a
@@ -702,7 +799,7 @@ def cluster_multiprocessing(
                 ):
                     last_sync = time.monotonic()
                     t_sync = tel.now() if rec is not None else 0.0
-                    per_shard = master.sync()
+                    per_shard = master.sync(now=tel.now() if clocked else None)
                     if rec is not None:
                         t_done = tel.now()
                         applied = sum(a for a, _ in per_shard)
@@ -783,7 +880,9 @@ def cluster_multiprocessing(
                 if local_aligner is None:
                     local_aligner = make_aligner(collection, config)
                 t_drain = tel.now() if rec is not None else 0.0
-                local_aligned += drain_workbuf(master, local_aligner)
+                local_aligned += drain_workbuf(
+                    master, local_aligner, now=tel.now() if clocked else None
+                )
                 if rec is not None:
                     rec.compute(
                         "master", t_drain, tel.now(), "degraded: align locally"
@@ -802,7 +901,14 @@ def cluster_multiprocessing(
                     merges=final_stats.merges,
                     pairs_dispatched=final_stats.pairs_dispatched,
                 )
+                if master.n_shards > 1:
+                    monitor.set_shards(master.shard_states())
                 monitor.finish(time.monotonic() - t0)
+    except BaseException:
+        # The coordinator itself is going down: capture what it knew.
+        if flight is not None:
+            flight.dump("crash", force=True)
+        raise
     finally:
         if monitor is not None and owns_monitor:
             monitor.close()
@@ -843,6 +949,10 @@ def cluster_multiprocessing(
     )
     snapshot = None
     if telemetry is not None:
+        if causal is not None:
+            # Causal records join the span-event stream; the snapshot
+            # sorts all events onto the one run clock.
+            tel.events.extend(causal.as_records())
         tel.record_faults(fault_counters)
         tel.count("messages.exchanged", agg_stats.messages)
         if n_shards > 1:

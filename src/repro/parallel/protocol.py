@@ -55,6 +55,7 @@ from repro.cluster.manager import ClusterManager
 from repro.pairs.ondemand import OnDemandPairGenerator
 from repro.pairs.pair import Pair
 from repro.parallel.dispatch import DispatchPolicy, RequestContext, make_policy
+from repro.telemetry.causal import NO_UNIT
 
 __all__ = ["SlaveMsg", "MasterMsg", "MasterLogic", "SlaveLogic"]
 
@@ -72,6 +73,10 @@ class SlaveMsg:
     #: backend, virtual seconds under the simulator); -1.0 = unstamped,
     #: so receivers can tell "telemetry off" from "sent at t=0".
     sent_at: float = -1.0
+    #: Causal work-unit id per pair in ``pairs`` (same length), or empty
+    #: when causal tracing is off — the same additive convention as
+    #: ``sent_at``, so untraced runs and old pickles are unaffected.
+    pair_units: tuple[int, ...] = ()
 
     @property
     def n_results(self) -> int:
@@ -91,6 +96,8 @@ class MasterMsg:
     stop: bool = False
     #: See :attr:`SlaveMsg.sent_at`.
     sent_at: float = -1.0
+    #: See :attr:`SlaveMsg.pair_units` (ids per pair in ``work``).
+    work_units: tuple[int, ...] = ()
 
     @property
     def n_pairs(self) -> int:
@@ -126,6 +133,9 @@ class MasterLogic:
         workbuf_capacity: int,
         latency=None,
         policy: DispatchPolicy | str = "paper",
+        causal=None,
+        causal_actor: str = "master",
+        causal_shard: int = 0,
     ) -> None:
         if n_slaves < 1:
             raise ValueError("need at least one slave")
@@ -165,6 +175,19 @@ class MasterLogic:
         # ``workbuf`` / ``in_flight`` while ``latency`` is set.
         self._workbuf_ts: deque[float] = deque()
         self._flight_ts: dict[int, deque[float]] = {}
+        #: Optional :class:`~repro.telemetry.causal.CausalRecorder`.  When
+        #: set, every pair's work-unit id is mirrored alongside WORKBUF
+        #: and the in-flight batches (the same mirror-deque pattern as
+        #: the latency timestamps) and lifecycle events are recorded at
+        #: each custody transfer.  ``None`` (the default) keeps the hot
+        #: path free of any unit bookkeeping.
+        self.causal = causal
+        self.causal_actor = causal_actor
+        self.causal_shard = causal_shard
+        self._workbuf_units: deque[int] = deque()
+        self._flight_units: dict[int, deque[tuple[int, ...]]] = {}
+        self._last_units: tuple[int, ...] = ()  # units of the last _take_work
+        self._recovery_mint = None  # lazy UnitMinter for absorb_pairs
 
     # ------------------------------------------------------------------ #
 
@@ -200,6 +223,7 @@ class MasterLogic:
         flight = self.in_flight.get(msg.slave_id)
         if flight:
             fts = self._flight_ts.get(msg.slave_id)
+            funits = self._flight_units.get(msg.slave_id) if self.causal else None
             while len(flight) > 1:
                 batch = flight.popleft()
                 rtt = None
@@ -212,6 +236,16 @@ class MasterLogic:
                         rtt = now - sent
                         if self.latency is not None:
                             self.latency.observe("rtt", rtt)
+                if funits:
+                    units = funits.popleft()
+                    if batch:
+                        self.causal.record_counts(
+                            "absorbed",
+                            units,
+                            actor=self.causal_actor,
+                            ts=now if now is not None else 0.0,
+                            slave=msg.slave_id,
+                        )
                 if batch:
                     self.policy.note_retired(msg.slave_id, len(batch), rtt)
 
@@ -231,11 +265,14 @@ class MasterLogic:
         # dropped pair could lose a merge witness (capacity is the *target*
         # the request computation steers toward, as in §3.3).
         admitted = 0
-        for pair in msg.pairs:
-            self.stats.pairs_offered += 1
-            if not self.manager.same_cluster(pair.est_a, pair.est_b):
-                self.workbuf.append(pair)
-                admitted += 1
+        if self.causal is None:
+            for pair in msg.pairs:
+                self.stats.pairs_offered += 1
+                if not self.manager.same_cluster(pair.est_a, pair.est_b):
+                    self.workbuf.append(pair)
+                    admitted += 1
+        else:
+            admitted = self._admit_traced(msg.pairs, msg.pair_units, now)
         if self.latency is not None and admitted:
             self._stamp_admissions(admitted, now)
         self.stats.pairs_admitted += admitted
@@ -252,11 +289,51 @@ class MasterLogic:
         t = now if now is not None else 0.0
         self._workbuf_ts.extend(t for _ in range(n))
 
+    def _admit_traced(
+        self, pairs: tuple[Pair, ...], units: tuple[int, ...], now: float | None
+    ) -> int:
+        """The admission loop with unit mirroring: same filter, plus the
+        unit id of every admitted pair lands in ``_workbuf_units`` and
+        admitted/pruned counts become causal events."""
+        if len(units) != len(pairs):
+            units = (NO_UNIT,) * len(pairs)
+        admitted = 0
+        kept: dict[int, int] = {}
+        dropped: dict[int, int] = {}
+        for pair, unit in zip(pairs, units):
+            self.stats.pairs_offered += 1
+            if not self.manager.same_cluster(pair.est_a, pair.est_b):
+                self.workbuf.append(pair)
+                self._workbuf_units.append(unit)
+                kept[unit] = kept.get(unit, 0) + 1
+                admitted += 1
+            else:
+                dropped[unit] = dropped.get(unit, 0) + 1
+        t = now if now is not None else 0.0
+        for unit, n in kept.items():
+            if unit != NO_UNIT:
+                self.causal.record(
+                    "admitted", unit, n, actor=self.causal_actor, ts=t
+                )
+        for unit, n in dropped.items():
+            if unit != NO_UNIT:
+                self.causal.record(
+                    "pruned", unit, n, actor=self.causal_actor, ts=t,
+                    reason="admission",
+                )
+        return admitted
+
     def _take_work(self, now: float | None) -> tuple[Pair, ...]:
         """Pop up to one batchsize of work, observing per-pair WORKBUF
-        dwell time when latency tracing is on."""
+        dwell time when latency tracing is on.  The popped pairs' unit
+        ids land in ``_last_units`` (empty when causal tracing is off)."""
         w = min(self.batchsize, len(self.workbuf))
         work = tuple(self.workbuf.popleft() for _ in range(w))
+        if self.causal is not None:
+            self._last_units = tuple(
+                self._workbuf_units.popleft() if self._workbuf_units else NO_UNIT
+                for _ in range(w)
+            )
         if self.latency is not None:
             t = now if now is not None else 0.0
             for _ in range(w):
@@ -277,6 +354,8 @@ class MasterLogic:
 
         if work or e > 0:
             self._note_dispatch(slave_id, work, now)
+            if self.causal is not None:
+                return MasterMsg(work=work, request=e, work_units=self._last_units)
             return MasterMsg(work=work, request=e)
 
         # Nothing to give and nothing to ask for.
@@ -298,11 +377,25 @@ class MasterLogic:
             self._flight_ts.setdefault(slave_id, deque()).append(
                 now if now is not None else 0.0
             )
+        if self.causal is not None:
+            units = self._last_units if work else ()
+            if not work:
+                self._last_units = ()
+            self._flight_units.setdefault(slave_id, deque()).append(units)
+            if units:
+                self.causal.record_counts(
+                    "dispatched",
+                    units,
+                    actor=self.causal_actor,
+                    ts=now if now is not None else 0.0,
+                    slave=slave_id,
+                )
 
     def _note_stop(self, slave_id: int) -> None:
         self.stopped.add(slave_id)
         self.in_flight.pop(slave_id, None)
         self._flight_ts.pop(slave_id, None)
+        self._flight_units.pop(slave_id, None)
         self.policy.note_slave_stopped(slave_id)
 
     def _compute_request(
@@ -357,7 +450,17 @@ class MasterLogic:
                 self.waiting.discard(slave_id)
                 work = self._take_work(now)
                 self._note_dispatch(slave_id, work, now)
-                replies.append((slave_id, MasterMsg(work=work, request=0)))
+                if self.causal is not None:
+                    replies.append(
+                        (
+                            slave_id,
+                            MasterMsg(
+                                work=work, request=0, work_units=self._last_units
+                            ),
+                        )
+                    )
+                else:
+                    replies.append((slave_id, MasterMsg(work=work, request=0)))
             elif len(self.passive) == self.n_slaves:
                 self.waiting.discard(slave_id)
                 if self.pending_results.get(slave_id, False):
@@ -395,11 +498,42 @@ class MasterLogic:
         # double-count the dead slave's pairs in the JBSQ queue-depth view.
         self.policy.note_slave_lost(slave_id)
         requeued = 0
-        for batch in self.in_flight.pop(slave_id, ()):
-            for pair in batch:
-                if not self.manager.same_cluster(pair.est_a, pair.est_b):
-                    self.workbuf.append(pair)
-                    requeued += 1
+        if self.causal is None:
+            for batch in self.in_flight.pop(slave_id, ()):
+                for pair in batch:
+                    if not self.manager.same_cluster(pair.est_a, pair.est_b):
+                        self.workbuf.append(pair)
+                        requeued += 1
+        else:
+            batches = self.in_flight.pop(slave_id, deque())
+            unit_batches = self._flight_units.pop(slave_id, deque())
+            kept: dict[int, int] = {}
+            dropped: dict[int, int] = {}
+            for i, batch in enumerate(batches):
+                units = unit_batches[i] if i < len(unit_batches) else ()
+                if len(units) != len(batch):
+                    units = (NO_UNIT,) * len(batch)
+                for pair, unit in zip(batch, units):
+                    if not self.manager.same_cluster(pair.est_a, pair.est_b):
+                        self.workbuf.append(pair)
+                        self._workbuf_units.append(unit)
+                        kept[unit] = kept.get(unit, 0) + 1
+                        requeued += 1
+                    else:
+                        dropped[unit] = dropped.get(unit, 0) + 1
+            t = now if now is not None else 0.0
+            for unit, n in kept.items():
+                if unit != NO_UNIT:
+                    self.causal.record(
+                        "requeued", unit, n, actor=self.causal_actor, ts=t,
+                        slave=slave_id,
+                    )
+            for unit, n in dropped.items():
+                if unit != NO_UNIT:
+                    self.causal.record(
+                        "pruned", unit, n, actor=self.causal_actor, ts=t,
+                        slave=slave_id, reason="requeue",
+                    )
         if self.latency is not None and requeued:
             # Requeued pairs restart the queue clock: their first wait
             # ended in a dead slave and was never work.
@@ -419,10 +553,11 @@ class MasterLogic:
         self.pending_results.pop(slave_id, None)
         self.in_flight.pop(slave_id, None)
         self._flight_ts.pop(slave_id, None)
+        self._flight_units.pop(slave_id, None)
         # The replacement process starts with nothing in flight.
         self.policy.note_slave_lost(slave_id)
 
-    def prune_workbuf(self) -> int:
+    def prune_workbuf(self, *, now: float | None = None) -> int:
         """Drop WORKBUF pairs whose ESTs became co-clustered out-of-band
         (foreign unions absorbed during a cross-shard merge).  Admission
         already filters co-clustered pairs, but a merge learned from
@@ -440,6 +575,17 @@ class MasterLogic:
             self._workbuf_ts = deque(
                 ts for ts, skip in zip(self._workbuf_ts, redundant) if not skip
             )
+        if self.causal is not None and len(self._workbuf_units) == len(self.workbuf):
+            self.causal.record_counts(
+                "pruned",
+                (u for u, skip in zip(self._workbuf_units, redundant) if skip),
+                actor=self.causal_actor,
+                ts=now if now is not None else 0.0,
+                reason="sync",
+            )
+            self._workbuf_units = deque(
+                u for u, skip in zip(self._workbuf_units, redundant) if not skip
+            )
         self.workbuf = deque(
             pair for pair, skip in zip(self.workbuf, redundant) if not skip
         )
@@ -448,13 +594,34 @@ class MasterLogic:
 
     def absorb_pairs(self, pairs: Iterable[Pair], *, now: float | None = None) -> int:
         """Admit engine-regenerated pairs (degraded recovery) through the
-        normal selection filter.  Returns the number admitted."""
-        admitted = 0
-        for pair in pairs:
-            self.stats.pairs_offered += 1
-            if not self.manager.same_cluster(pair.est_a, pair.est_b):
-                self.workbuf.append(pair)
-                admitted += 1
+        normal selection filter.  Returns the number admitted.
+
+        Under causal tracing each call mints a fresh master-origin work
+        unit for its batch — the dead slave's ids cannot be recovered,
+        and a distinct recovery unit keeps the conservation ledger exact.
+        """
+        if self.causal is None:
+            admitted = 0
+            for pair in pairs:
+                self.stats.pairs_offered += 1
+                if not self.manager.same_cluster(pair.est_a, pair.est_b):
+                    self.workbuf.append(pair)
+                    admitted += 1
+        else:
+            if self._recovery_mint is None:
+                from repro.telemetry.causal import UnitMinter
+
+                # The shard index rides the incarnation bits so recovery
+                # units minted by different shards can never collide.
+                self._recovery_mint = UnitMinter(-1, self.causal_shard)
+            pairs = tuple(pairs)
+            unit = self._recovery_mint()
+            t = now if now is not None else 0.0
+            self.causal.record(
+                "generated", unit, len(pairs), actor=self.causal_actor, ts=t,
+                reason="recovery",
+            )
+            admitted = self._admit_traced(pairs, (unit,) * len(pairs), now)
         if self.latency is not None and admitted:
             self._stamp_admissions(admitted, now)
         self.stats.pairs_admitted += admitted
@@ -490,6 +657,7 @@ class SlaveLogic:
         *,
         batchsize: int,
         pairbuf_capacity: int,
+        minter=None,
     ) -> None:
         self.slave_id = slave_id
         self.generator = generator
@@ -504,6 +672,39 @@ class SlaveLogic:
         self.total_dp_cells = 0
         self._aligned: tuple[tuple[Pair, AlignmentResult, bool], ...] | None = None
         self._align_costs = SlaveStepCosts()
+        #: Optional :class:`~repro.telemetry.causal.UnitMinter`.  When
+        #: set, every generated batch is minted a work-unit id, PAIRBUF
+        #: carries a unit mirror, and lifecycle facts accumulate in
+        #: ``causal_log`` as ``(event, unit, n)`` for the engine to drain
+        #: (:meth:`drain_causal`) and stamp with its own clock.  ``None``
+        #: keeps the slave loop free of unit bookkeeping.
+        self.minter = minter
+        self.causal_log: list[tuple[str, int, int]] = []
+        self._pairbuf_units: deque[int] = deque()
+        self._nextwork_units: tuple[int, ...] = ()
+
+    # ------------------------------------------------------------------ #
+
+    def drain_causal(self) -> list[tuple[str, int, int]]:
+        """Return and clear the ``(event, unit, n)`` facts accumulated
+        since the last drain (the engine stamps them with its clock)."""
+        out = self.causal_log
+        self.causal_log = []
+        return out
+
+    def _mint(self, event: str, pairs) -> int:
+        unit = self.minter()
+        if pairs:
+            self.causal_log.append((event, unit, len(pairs)))
+        return unit
+
+    def _log_aligned(self, units: tuple[int, ...]) -> None:
+        counts: dict[int, int] = {}
+        for u in units:
+            if u != NO_UNIT:
+                counts[u] = counts.get(u, 0) + 1
+        for u, n in counts.items():
+            self.causal_log.append(("aligned", u, n))
 
     # ------------------------------------------------------------------ #
 
@@ -515,6 +716,15 @@ class SlaveLogic:
         p2 = self.generator.next_batch(self.batchsize)
         p3 = self.generator.next_batch(self.batchsize)
         costs.pairs_generated_blocking += len(p1) + len(p2) + len(p3)
+        units: tuple[int, ...] = ()
+        if self.minter is not None:
+            u1 = self._mint("generated", p1)
+            u2 = self._mint("generated", p2)
+            u3 = self._mint("generated", p3)
+            self._nextwork_units = (u2,) * len(p2)
+            units = (u3,) * len(p3)
+            if p1:
+                self.causal_log.append(("aligned", u1, len(p1)))
         results = self._align_batch(p1, costs)
         self.nextwork = tuple(p2)
         self.last_costs = costs
@@ -524,6 +734,7 @@ class SlaveLogic:
             pairs=tuple(p3),
             exhausted=self.generator.exhausted and not self.pairbuf,
             has_pending_results=bool(self.nextwork),
+            pair_units=units,
         )
 
     def align_pending(self) -> SlaveStepCosts:
@@ -535,6 +746,8 @@ class SlaveLogic:
             costs = SlaveStepCosts()
             self._aligned = self._align_batch(list(self.nextwork), costs)
             self._align_costs = costs
+            if self.minter is not None and self._nextwork_units:
+                self._log_aligned(self._nextwork_units)
         return self._align_costs
 
     def step(self, reply: MasterMsg) -> SlaveMsg | None:
@@ -561,6 +774,12 @@ class SlaveLogic:
             self.last_costs = costs
             return None
         self.nextwork = tuple(reply.work)
+        if self.minter is not None:
+            self._nextwork_units = (
+                reply.work_units
+                if len(reply.work_units) == len(reply.work)
+                else (NO_UNIT,) * len(reply.work)
+            )
 
         # Fill PAIRBUF toward the requested E (blocking generation; idle
         # generation during the wait is modelled by the engine via
@@ -570,8 +789,17 @@ class SlaveLogic:
             fetched = self.generator.next_batch(want - len(self.pairbuf))
             costs.pairs_generated_blocking += len(fetched)
             self.pairbuf.extend(fetched)
+            if self.minter is not None and fetched:
+                unit = self._mint("generated", fetched)
+                self._pairbuf_units.extend((unit,) * len(fetched))
         p = min(want, len(self.pairbuf))
         outgoing = tuple(self.pairbuf.popleft() for _ in range(p))
+        units: tuple[int, ...] = ()
+        if self.minter is not None and p:
+            units = tuple(
+                self._pairbuf_units.popleft() if self._pairbuf_units else NO_UNIT
+                for _ in range(p)
+            )
 
         self.last_costs = costs
         return SlaveMsg(
@@ -580,6 +808,7 @@ class SlaveLogic:
             pairs=outgoing,
             exhausted=self.generator.exhausted and not self.pairbuf,
             has_pending_results=bool(self.nextwork),
+            pair_units=units,
         )
 
     def idle_generate(self, max_pairs: int) -> int:
@@ -591,6 +820,9 @@ class SlaveLogic:
             return 0
         fetched = self.generator.next_batch(budget)
         self.pairbuf.extend(fetched)
+        if self.minter is not None and fetched:
+            unit = self._mint("generated", fetched)
+            self._pairbuf_units.extend((unit,) * len(fetched))
         return len(fetched)
 
     # ------------------------------------------------------------------ #

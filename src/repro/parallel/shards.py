@@ -129,6 +129,11 @@ class MasterShard:
         self.shard_id = shard_id
         self.logic = logic
         self._log_cursor = 0
+        #: Cumulative cross-shard sync accounting for this shard (how many
+        #: foreign union edges it applied, and how many WORKBUF pairs those
+        #: unions let it prune) — the monitor's per-shard sync view.
+        self.unions_absorbed = 0
+        self.sync_pruned = 0
 
     def export_unions(self) -> list[tuple[int, int]]:
         merges = self.logic.manager.merges
@@ -139,13 +144,15 @@ class MasterShard:
         self._log_cursor = len(merges)
         return edges
 
-    def absorb_unions(self, edges: list[tuple[int, int]]) -> tuple[int, int]:
+    def absorb_unions(
+        self, edges: list[tuple[int, int]], *, now: float | None = None
+    ) -> tuple[int, int]:
         """Apply foreign accepted-pair edges; returns ``(applied, pruned)``."""
         applied = 0
         for est_a, est_b in edges:
             if self.logic.manager.seed_union(est_a, est_b):
                 applied += 1
-        pruned = self.logic.prune_workbuf() if applied else 0
+        pruned = self.logic.prune_workbuf(now=now) if applied else 0
         return applied, pruned
 
 
@@ -163,6 +170,13 @@ class _PolicyFanout:
     def attach_signals(self, stragglers) -> None:
         for shard in self._shards:
             shard.logic.policy.attach_signals(stragglers)
+
+    def debug_state(self) -> dict:
+        """Per-shard policy internals (flight-recorder dumps read this)."""
+        return {
+            f"shard{shard.shard_id}": shard.logic.policy.debug_state()
+            for shard in self._shards
+        }
 
 
 class ShardedMaster:
@@ -185,6 +199,7 @@ class ShardedMaster:
         workbuf_capacity: int,
         latency=None,
         policy: str = "paper",
+        causal=None,
     ) -> None:
         self.plan = plan
         self.n_ests = n_ests
@@ -200,6 +215,11 @@ class ShardedMaster:
                     workbuf_capacity=workbuf_capacity,
                     latency=latency,
                     policy=policy,
+                    causal=causal,
+                    causal_actor=(
+                        "master" if plan.n_shards == 1 else f"shard{j}"
+                    ),
+                    causal_shard=j,
                 ),
             )
             for j in range(plan.n_shards)
@@ -280,9 +300,39 @@ class ShardedMaster:
             agg.pairs_pruned += st.pairs_pruned
         return agg
 
+    def shard_states(self) -> list[dict]:
+        """Per-shard monitor view: slave liveness, queue depth and the
+        dispatch/sync/prune counters.  Plain JSON-serialisable dicts so
+        they can travel the ``/state`` endpoint and ``live_state`` JSONL
+        records unchanged."""
+        out: list[dict] = []
+        for shard in self.shards:
+            logic = shard.logic
+            slaves = self.plan.shard_slaves[shard.shard_id]
+            st = logic.stats
+            out.append(
+                {
+                    "shard_id": shard.shard_id,
+                    "slaves": len(slaves),
+                    "busy": sum(
+                        1
+                        for k in slaves
+                        if k not in logic.stopped and k not in logic.lost
+                    ),
+                    "lost": sum(1 for k in slaves if k in logic.lost),
+                    "workbuf_depth": logic.workbuf_depth,
+                    "pairs_dispatched": st.pairs_dispatched,
+                    "merges": st.merges,
+                    "pruned": st.pairs_pruned,
+                    "unions_absorbed": shard.unions_absorbed,
+                    "sync_pruned": shard.sync_pruned,
+                }
+            )
+        return out
+
     # ---- cross-shard merge -------------------------------------------- #
 
-    def sync(self) -> list[tuple[int, int]]:
+    def sync(self, *, now: float | None = None) -> list[tuple[int, int]]:
         """One all-to-all union exchange; returns per-shard
         ``(applied, pruned)`` so engines can attribute the cost.
 
@@ -303,7 +353,11 @@ class ShardedMaster:
                 if i != j
                 for edge in edges
             ]
-            applied, pruned = shard.absorb_unions(foreign) if foreign else (0, 0)
+            applied, pruned = (
+                shard.absorb_unions(foreign, now=now) if foreign else (0, 0)
+            )
+            shard.unions_absorbed += applied
+            shard.sync_pruned += pruned
             per_shard.append((applied, pruned))
         self.sync_rounds += 1
         self.unions_exchanged += sum(a for a, _ in per_shard)

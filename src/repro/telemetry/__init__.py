@@ -27,6 +27,16 @@ trace down by work-unit lifecycle stage (:mod:`repro.telemetry.latency`,
 :mod:`repro.telemetry.analyze`): per-stage p50/p90/p99/p999, the
 critical-path stage, slave imbalance, and stage-by-stage regression
 deltas between two runs.
+
+Causal observability (:mod:`repro.telemetry.causal`,
+:mod:`repro.telemetry.flight`, :mod:`repro.telemetry.export`,
+:mod:`repro.telemetry.postmortem`): with ``causal_tracing`` enabled every
+dispatched pair batch carries a work-unit id whose lifecycle events ride
+the same JSONL stream, ``pace-est analyze`` checks conservation (every
+admitted pair is absorbed, pruned or accounted in flight), ``pace-est
+perfetto`` exports a Perfetto-loadable timeline with dispatch→absorb flow
+arrows, and ``pace-est postmortem`` merges the trace with per-process
+crash flight-recorder dumps to reconstruct a failed run's last moments.
 """
 
 from repro.telemetry.registry import (
@@ -38,6 +48,19 @@ from repro.telemetry.registry import (
     quantile_from_buckets,
 )
 from repro.telemetry.analyze import analyze_trace, diff_traces, stage_table
+from repro.telemetry.causal import (
+    CausalRecorder,
+    UnitMinter,
+    check_conservation,
+    format_unit,
+)
+from repro.telemetry.export import chrome_trace, export_chrome_trace
+from repro.telemetry.flight import (
+    FlightRecorder,
+    load_flight_dumps,
+    merge_flight_events,
+)
+from repro.telemetry.postmortem import build_postmortem, collect_run_sources
 from repro.telemetry.latency import (
     SEQUENTIAL_STAGES,
     STAGES,
@@ -110,4 +133,15 @@ __all__ = [
     "analyze_trace",
     "diff_traces",
     "stage_table",
+    "CausalRecorder",
+    "UnitMinter",
+    "check_conservation",
+    "format_unit",
+    "chrome_trace",
+    "export_chrome_trace",
+    "FlightRecorder",
+    "load_flight_dumps",
+    "merge_flight_events",
+    "build_postmortem",
+    "collect_run_sources",
 ]

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import math
 
+from repro.telemetry.causal import check_conservation
 from repro.telemetry.latency import QUANTILES, STAGES, store_from_records
 
 __all__ = [
@@ -40,6 +41,7 @@ __all__ = [
     "analyze_trace",
     "diff_traces",
     "trace_meta",
+    "conservation_section",
 ]
 
 #: Stages that elapse inside a work unit's round trip (see module doc).
@@ -159,6 +161,24 @@ def critical_path(table: dict[str, dict[str, float]]) -> tuple[str, float]:
 # analyze
 
 
+def conservation_section(records: list[dict]) -> tuple[list[str], int]:
+    """Work-unit conservation report lines for a trace, plus the number
+    of conservation *errors* (orphans, double absorbs, and — since any
+    trace analyzed here claims to be a complete run — leftover in-flight
+    units).  ``([], 0)`` when the trace carries no causal records."""
+    report = check_conservation(records)
+    if not report.ledgers:
+        return [], 0
+    lines = report.lines()
+    errors = len(report.orphans) + len(report.in_flight)
+    if report.storms:
+        lines.append(
+            f"  requeue storms usually mean the restart budget is bouncing "
+            f"work between dying slaves — check fault counters"
+        )
+    return lines, errors
+
+
 def analyze_trace(records: list[dict]) -> str:
     """Human-readable latency analysis of one trace."""
     meta = trace_meta(records)
@@ -264,6 +284,11 @@ def analyze_trace(records: list[dict]) -> str:
         else:
             lines.append("no straggler: busy times within "
                          f"{STRAGGLER_RATIO:.2f}x of the mean")
+
+    cons_lines, _ = conservation_section(records)
+    if cons_lines:
+        lines.append("")
+        lines.extend(cons_lines)
     return "\n".join(lines)
 
 

@@ -1,0 +1,180 @@
+"""Crash flight recorder: a bounded ring of recent protocol events.
+
+Aggregate telemetry only reaches disk when a run finishes; a slave that
+dies mid-run takes its recent history with it.  Each process (master and
+every mp slave) can therefore keep a :class:`FlightRecorder` — a
+``deque(maxlen=...)`` of its most recent protocol/dispatch/union events —
+and dump it to ``<dir>/flight-<actor>.json`` when something goes wrong:
+an unhandled exception, a fault-tolerance transition, or SIGTERM.
+`pace-est postmortem` merges these dumps with whatever telemetry JSONL
+made it to disk and reconstructs the run's last moments.
+
+Recording a note is one ``deque.append`` of a small dict — cheap enough
+to leave on for every monitored run — and nothing at all when no
+recorder is constructed (the disabled path stays instruction-free: call
+sites guard on ``rec is not None``).
+
+Dump files are self-describing JSON (schema ``repro-flight/1``)::
+
+    {"schema": "repro-flight/1", "actor": "slave3", "run_id": "...",
+     "reason": "crash", "dumped_at": 12.5, "state": {...}, "events": [...]}
+
+``state`` is the output of an optional ``state_provider`` callable — the
+engines attach one returning protocol state (in-flight work units,
+dispatch-policy queue depths, message counts) so the dump names exactly
+what the process was holding when it died.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from collections import deque
+from typing import Callable, Iterable
+
+__all__ = [
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
+    "load_flight_dumps",
+    "merge_flight_events",
+]
+
+FLIGHT_SCHEMA = "repro-flight/1"
+
+#: Default ring capacity: enough to cover several protocol round trips
+#: per slave without ever holding more than a few hundred small dicts.
+DEFAULT_CAPACITY = 256
+
+
+class FlightRecorder:
+    """Per-process bounded event ring with dump-on-disaster semantics."""
+
+    def __init__(
+        self,
+        directory: str,
+        actor: str,
+        *,
+        run_id: str = "",
+        capacity: int = DEFAULT_CAPACITY,
+        clock: Callable[[], float] = time.time,
+        state_provider: Callable[[], dict] | None = None,
+    ) -> None:
+        self.directory = directory
+        self.actor = actor
+        self.run_id = run_id
+        self.clock = clock
+        self.state_provider = state_provider
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self._dumped = False
+
+    # ---- recording ---------------------------------------------------- #
+
+    def note(self, event: str, **detail) -> None:
+        """Append one event to the ring (oldest entries fall off)."""
+        rec = {"ts": self.clock(), "event": event}
+        if detail:
+            rec.update(detail)
+        self._ring.append(rec)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def events(self) -> list[dict]:
+        return list(self._ring)
+
+    # ---- dumping ------------------------------------------------------ #
+
+    @property
+    def path(self) -> str:
+        return os.path.join(self.directory, f"flight-{self.actor}.json")
+
+    def dump(self, reason: str, *, force: bool = False) -> str | None:
+        """Write the ring to disk; idempotent unless ``force``.
+
+        The first dump wins (a crash dump should not be overwritten by
+        the SIGTERM handler firing during teardown).  Returns the path
+        written, or ``None`` when skipped or the write itself failed —
+        a flight recorder must never turn a crash into a different crash.
+        """
+        if self._dumped and not force:
+            return None
+        payload = {
+            "schema": FLIGHT_SCHEMA,
+            "actor": self.actor,
+            "run_id": self.run_id,
+            "reason": reason,
+            "dumped_at": self.clock(),
+            "events": list(self._ring),
+        }
+        if self.state_provider is not None:
+            try:
+                payload["state"] = self.state_provider()
+            except Exception as exc:  # pragma: no cover - defensive
+                payload["state_error"] = repr(exc)
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            tmp = f"{self.path}.tmp.{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, default=str)
+                fh.write("\n")
+            os.replace(tmp, self.path)
+        except OSError:
+            return None
+        self._dumped = True
+        return self.path
+
+    def install_sigterm(self) -> None:
+        """Dump on SIGTERM, then die with the conventional 128+SIGTERM
+        status (the previous handler is not chained — slaves install
+        this in their own forked process)."""
+
+        def _handler(signum, frame):  # pragma: no cover - signal path
+            self.dump("sigterm")
+            os._exit(128 + signum)
+
+        signal.signal(signal.SIGTERM, _handler)
+
+
+def load_flight_dumps(directory: str) -> list[dict]:
+    """Read every ``flight-*.json`` dump in a run directory, sorted by
+    actor name.  Unreadable or half-written dumps are skipped with a
+    ``load_error`` placeholder entry rather than raised — postmortem
+    tooling must work on exactly the runs that died messily."""
+    dumps: list[dict] = []
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return dumps
+    for name in names:
+        if not (name.startswith("flight-") and name.endswith(".json")):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError) as exc:
+            dumps.append(
+                {"schema": FLIGHT_SCHEMA, "actor": name, "load_error": str(exc)}
+            )
+            continue
+        if isinstance(payload, dict):
+            dumps.append(payload)
+    return dumps
+
+
+def merge_flight_events(dumps: Iterable[dict]) -> list[dict]:
+    """Flatten dump events into one ts-sorted stream, tagging each event
+    with its source actor."""
+    merged: list[dict] = []
+    for dump in dumps:
+        actor = dump.get("actor", "?")
+        for ev in dump.get("events", ()):
+            if isinstance(ev, dict):
+                tagged = dict(ev)
+                tagged.setdefault("actor", actor)
+                merged.append(tagged)
+    merged.sort(key=lambda e: e.get("ts", 0.0))
+    return merged

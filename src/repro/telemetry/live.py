@@ -285,6 +285,9 @@ class LiveRunState:
         self.messages = 0
         self.merges = 0
         self.pairs_dispatched = 0
+        #: Per-shard views (sharded masters only; [] on classic runs).
+        #: Plain dicts straight from ``ShardedMaster.shard_states()``.
+        self.shards: list[dict] = []
         self.fault_counters: dict[str, int] = {}
         self.now = 0.0  # newest timestamp seen anywhere (run clock)
         self.finished = False
@@ -333,6 +336,11 @@ class LiveRunState:
             self.merges = merges
         if pairs_dispatched is not None:
             self.pairs_dispatched = pairs_dispatched
+
+    def set_shards(self, shard_states: list[dict]) -> None:
+        """Replace the per-shard views (sharded-master engines push the
+        whole list each refresh; counters inside are cumulative)."""
+        self.shards = list(shard_states)
 
     def record_fault(self, name: str, amount: int = 1) -> None:
         self.fault_counters[name] = self.fault_counters.get(name, 0) + amount
@@ -423,6 +431,7 @@ class LiveRunState:
             "merges": self.merges,
             "pairs_dispatched": self.pairs_dispatched,
             "stragglers": self.stragglers(),
+            "shards": [dict(s) for s in self.shards],
             "faults": dict(self.fault_counters),
             "master": self.master.as_dict(),
             "slaves": [v.as_dict() for _, v in sorted(self.slaves.items())],
@@ -457,6 +466,9 @@ def replay_live_records(records: list[dict]) -> LiveRunState:
             )
             for name, value in rec.get("faults", {}).items():
                 state.fault_counters[name] = int(value)
+            shards = rec.get("shards")
+            if shards:
+                state.set_shards(shards)
             # Per-slave lost flags travel as the current lost set (a later
             # record with the slave revived clears the flag again).
             lost = rec.get("lost")

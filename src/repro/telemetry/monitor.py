@@ -95,6 +95,37 @@ def render_prometheus(state: LiveRunState, histograms: dict | None = None) -> st
             f"{master.cpu_seconds:.3f}",
         )
 
+    for shard in state.shards:
+        j = shard.get("shard_id", 0)
+        lab = f'{{shard="{j}"}}'
+        _metric(lines, "pace_shard_slaves", "gauge", shard.get("slaves", 0), lab)
+        _metric(lines, "pace_shard_busy_slaves", "gauge", shard.get("busy", 0), lab)
+        _metric(lines, "pace_shard_lost_slaves", "gauge", shard.get("lost", 0), lab)
+        _metric(
+            lines, "pace_shard_workbuf_depth", "gauge",
+            shard.get("workbuf_depth", 0), lab,
+        )
+        _metric(
+            lines, "pace_shard_pairs_dispatched_total", "counter",
+            shard.get("pairs_dispatched", 0), lab,
+        )
+        _metric(
+            lines, "pace_shard_merges_total", "counter",
+            shard.get("merges", 0), lab,
+        )
+        _metric(
+            lines, "pace_shard_pairs_pruned_total", "counter",
+            shard.get("pruned", 0), lab,
+        )
+        _metric(
+            lines, "pace_shard_unions_absorbed_total", "counter",
+            shard.get("unions_absorbed", 0), lab,
+        )
+        _metric(
+            lines, "pace_shard_sync_pruned_total", "counter",
+            shard.get("sync_pruned", 0), lab,
+        )
+
     stragglers = set(state.stragglers())
     for k, view in sorted(state.slaves.items()):
         lab = f'{{slave="{k}"}}'
@@ -208,6 +239,37 @@ def render_progress_table(state: dict) -> str:
     lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
     for r in rows:
         lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    shards = state.get("shards") or []
+    if shards:
+        sh_headers = [
+            "shard", "slaves", "busy", "lost", "workbuf",
+            "dispatched", "merges", "pruned", "sync-in", "sync-pruned",
+        ]
+        sh_rows = [
+            [
+                f"shard{s.get('shard_id', i)}",
+                str(s.get("slaves", 0)),
+                str(s.get("busy", 0)),
+                str(s.get("lost", 0)),
+                str(s.get("workbuf_depth", 0)),
+                str(s.get("pairs_dispatched", 0)),
+                str(s.get("merges", 0)),
+                str(s.get("pruned", 0)),
+                str(s.get("unions_absorbed", 0)),
+                str(s.get("sync_pruned", 0)),
+            ]
+            for i, s in enumerate(shards)
+        ]
+        sh_widths = [
+            max(len(h), *(len(r[i]) for r in sh_rows))
+            for i, h in enumerate(sh_headers)
+        ]
+        lines.append("")
+        lines.append(
+            "  ".join(h.ljust(w) for h, w in zip(sh_headers, sh_widths))
+        )
+        for r in sh_rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(r, sh_widths)))
     faults = state.get("faults") or {}
     if faults:
         lines.append("")
@@ -425,6 +487,13 @@ class RunMonitor:
             if self.state is not None:
                 self.state.set_master(**fields)
 
+    def set_shards(self, shard_states: list[dict]) -> None:
+        """Replace the per-shard views (sharded-master engines push the
+        full ``ShardedMaster.shard_states()`` list each refresh)."""
+        with self._lock:
+            if self.state is not None:
+                self.state.set_shards(shard_states)
+
     def record_fault(self, name: str, amount: int = 1) -> None:
         with self._lock:
             if self.state is not None:
@@ -501,6 +570,7 @@ class RunMonitor:
                 "lost": sorted(
                     k for k, v in state.slaves.items() if v.lost
                 ),
+                **({"shards": [dict(s) for s in state.shards]} if state.shards else {}),
                 "finished": state.finished,
             }
         )

@@ -1,0 +1,223 @@
+"""Postmortem reconstruction of a failed (or finished) run directory.
+
+`pace-est postmortem <dir>` merges everything a run left behind —
+telemetry/live JSONL (tolerated even when the writer died mid-line,
+see :func:`repro.telemetry.sinks.load_jsonl`) and the per-process
+flight-recorder dumps (:mod:`repro.telemetry.flight`) — into one
+causally-ordered timeline, then reports:
+
+- each actor's last known state (progress counters from live samples,
+  ring-buffer state from flight dumps, whichever is newest);
+- which slaves were lost, and which work units were in flight when the
+  run ended (from :func:`repro.telemetry.causal.check_conservation`
+  with in-flight allowed — in-flight units on a *finished* run are
+  still flagged as errors);
+- the merged event tail: the last moments before things went wrong.
+
+The module is read-only over the run directory and never raises on
+partial data: a postmortem has to work on exactly the runs that died
+messily.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.telemetry.causal import check_conservation, format_unit
+from repro.telemetry.flight import load_flight_dumps
+from repro.telemetry.live import replay_live_records
+from repro.telemetry.sinks import load_jsonl
+
+__all__ = ["RunSources", "collect_run_sources", "build_postmortem"]
+
+#: Default number of merged timeline events shown at the end of a report.
+DEFAULT_TAIL = 25
+
+
+@dataclass
+class RunSources:
+    """Everything readable from one run directory."""
+
+    directory: str
+    records: list[dict] = field(default_factory=list)
+    flight_dumps: list[dict] = field(default_factory=list)
+    #: ``(filename, record count)`` per JSONL file actually read.
+    jsonl_files: list[tuple[str, int]] = field(default_factory=list)
+    #: ``filename: message`` for files that could not be read at all.
+    errors: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def meta(self) -> dict:
+        for rec in self.records:
+            if rec.get("kind") == "meta":
+                return rec
+        return {}
+
+
+def collect_run_sources(directory: str) -> RunSources:
+    """Read every JSONL file and flight dump in ``directory``.
+
+    JSONL files are loaded tolerantly (a truncated final line — the
+    writer died mid-record — is skipped with a warning instead of
+    raised); files that are unreadable or broken earlier than their last
+    line are reported in ``errors`` and otherwise ignored.
+    """
+    src = RunSources(directory=directory)
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError as exc:
+        src.errors[directory] = str(exc)
+        return src
+    for name in names:
+        if not name.endswith(".jsonl"):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            records = load_jsonl(path, tolerant=True)
+        except (OSError, ValueError) as exc:
+            src.errors[name] = str(exc)
+            continue
+        src.jsonl_files.append((name, len(records)))
+        src.records.extend(records)
+    # A stable causal order for the merged stream: every record kind in
+    # the /4 schema carries ts on the run clock.
+    src.records.sort(key=lambda r: float(r.get("ts", 0.0)))
+    src.flight_dumps = load_flight_dumps(directory)
+    return src
+
+
+def _timeline_tail(src: RunSources, tail: int) -> list[str]:
+    """The last ``tail`` noteworthy events across all sources, merged on
+    the run clock."""
+    merged: list[tuple[float, str, str]] = []
+    for rec in src.records:
+        kind = rec.get("kind")
+        ts = float(rec.get("ts", 0.0))
+        if kind == "causal":
+            extra = f" reason={rec['reason']}" if rec.get("reason") else ""
+            to = f" slave={rec['slave']}" if rec.get("slave") is not None else ""
+            merged.append(
+                (
+                    ts,
+                    rec.get("actor", "?"),
+                    f"{rec.get('event')} unit {format_unit(rec.get('unit', -1))} "
+                    f"n={rec.get('n', 0)}{to}{extra}",
+                )
+            )
+        elif kind == "trace" and rec.get("event") == "fault":
+            merged.append((ts, rec.get("actor", "?"), f"FAULT {rec.get('detail', '')}"))
+    for dump in src.flight_dumps:
+        actor = dump.get("actor", "?")
+        for ev in dump.get("events", ()):
+            if not isinstance(ev, dict):
+                continue
+            detail = {k: v for k, v in ev.items() if k not in ("ts", "event")}
+            text = f"[flight] {ev.get('event', '?')}"
+            if detail:
+                text += " " + " ".join(f"{k}={v}" for k, v in sorted(detail.items()))
+            merged.append((float(ev.get("ts", 0.0)), actor, text))
+    merged.sort(key=lambda t: t[0])
+    return [f"  t={ts:10.4f}  {actor:<8} {text}" for ts, actor, text in merged[-tail:]]
+
+
+def build_postmortem(directory: str, *, tail: int = DEFAULT_TAIL) -> tuple[str, bool]:
+    """Reconstruct a run's last moments; returns ``(report, ok)``.
+
+    ``ok`` is False when the causal ledger shows orphans or double
+    absorbs, or when a run that claims to have *finished* still has
+    in-flight work units — an interrupted run with in-flight units is
+    expected and reported, not failed.
+    """
+    src = collect_run_sources(directory)
+    meta = src.meta
+    lines: list[str] = []
+    run_id = meta.get("run_id") or next(
+        (d.get("run_id") for d in src.flight_dumps if d.get("run_id")), ""
+    )
+    lines.append(f"postmortem: {directory}")
+    lines.append(
+        f"  run {run_id or '?'} · engine={meta.get('engine', '?')} "
+        f"· schema={meta.get('schema', '?')}"
+    )
+
+    lines.append("sources:")
+    for name, count in src.jsonl_files:
+        lines.append(f"  {name}: {count} records")
+    for dump in src.flight_dumps:
+        actor = dump.get("actor", "?")
+        if "load_error" in dump:
+            lines.append(f"  flight dump {actor}: unreadable ({dump['load_error']})")
+        else:
+            lines.append(
+                f"  flight-{actor}.json: {len(dump.get('events', ()))} events, "
+                f"reason={dump.get('reason', '?')} "
+                f"at t={float(dump.get('dumped_at', 0.0)):.4f}"
+            )
+    for name, err in src.errors.items():
+        lines.append(f"  {name}: unreadable ({err})")
+    if not src.jsonl_files and not src.flight_dumps:
+        lines.append("  (no telemetry JSONL or flight dumps found)")
+        return "\n".join(lines), False
+
+    finished = bool(meta.get("total_time") is not None)
+    state = replay_live_records(src.records)
+    flight_by_actor = {
+        d.get("actor"): d for d in src.flight_dumps if "load_error" not in d
+    }
+
+    lines.append("actors:")
+    views = [("master", state.master)] + [
+        (f"slave{k}", v) for k, v in sorted(state.slaves.items())
+    ]
+    for actor, view in views:
+        parts = [f"state={view.state}"]
+        if view.samples:
+            parts.append(f"last seen t={view.last_ts:.4f}")
+            parts.append(f"aligned={view.alignments}")
+            parts.append(f"generated={view.pairs_generated}")
+            if actor != "master":
+                parts.append(f"inc={view.incarnation}")
+        dump = flight_by_actor.get(actor)
+        if dump is not None:
+            parts.append(f"flight dump: {dump.get('reason', '?')}")
+            st = dump.get("state")
+            if isinstance(st, dict) and st:
+                parts.append(
+                    "dump state: "
+                    + " ".join(f"{k}={v}" for k, v in sorted(st.items()))
+                )
+        lines.append(f"  {actor:<8} " + " · ".join(parts))
+    lost = sorted(k for k, v in state.slaves.items() if v.lost)
+    if lost:
+        lines.append(f"lost slaves: {', '.join(str(k) for k in lost)}")
+
+    report = check_conservation(src.records)
+    if report.ledgers:
+        if report.in_flight:
+            lines.append("in-flight work units at end of record stream:")
+            for unit, n in sorted(report.in_flight.items()):
+                led = report.ledgers[unit]
+                where = (
+                    f"dispatched to slave {led.last_slave}"
+                    if led.flight_leftover > 0
+                    else "queued in WORKBUF"
+                )
+                lines.append(
+                    f"  unit {format_unit(unit)}: {n} pairs, {where}, "
+                    f"last event t={led.last_ts:.4f}"
+                )
+        lines.extend(report.lines(allow_in_flight=not finished))
+        ok = report.ok(allow_in_flight=not finished)
+    else:
+        lines.append(
+            "no causal records found (run without --causal-trace); "
+            "conservation not checked"
+        )
+        ok = not src.errors
+
+    tail_lines = _timeline_tail(src, tail)
+    if tail_lines:
+        lines.append(f"timeline tail (last {len(tail_lines)} events):")
+        lines.extend(tail_lines)
+    return "\n".join(lines), ok

@@ -21,7 +21,11 @@ kinds (the full schema is documented in DESIGN.md §5b):
 - ``latency`` — a per-stage work-unit latency summary (schema /3):
   ``stage`` plus count/sum/mean and the p50/p90/p99/p999 quantiles,
   denormalised from the ``latency.<stage>.seconds`` histograms so
-  downstream tools get tail percentiles without redoing bucket math.
+  downstream tools get tail percentiles without redoing bucket math;
+- ``causal`` — a work-unit lifecycle event (schema /4): ``event`` ∈
+  generated/admitted/dispatched/aligned/absorbed/requeued/pruned with
+  the ``unit`` id, pair count ``n``, ``actor`` and ``ts`` (see
+  :mod:`repro.telemetry.causal`; the conservation check balances these).
 
 :func:`validate_records` is the schema check the CI smoke job and the
 round-trip tests run; :func:`summarise` reconstructs the paper-shaped
@@ -34,9 +38,11 @@ which is what ``pace-est report`` prints.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import IO, Iterable
 
+from repro.telemetry.causal import CAUSAL_EVENTS
 from repro.telemetry.latency import LatencyStore, latency_records
 from repro.telemetry.spans import SPAN_PREFIX, SPAN_SUFFIX, TelemetrySnapshot
 
@@ -51,15 +57,22 @@ __all__ = [
     "summarise",
 ]
 
-SCHEMA_VERSION = "repro-telemetry/3"
+SCHEMA_VERSION = "repro-telemetry/4"
 
 #: Schema revisions this reader accepts.  /1 is the PR 2 post-run trace
 #: format; /2 adds the streamed ``live``/``live_state`` record kinds; /3
 #: adds per-stage ``latency`` summary records (count/sum/mean + ordered
-#: p50 ≤ p90 ≤ p99 ≤ p999) and optional ``origin``/``run_id`` meta keys.
-#: Every rev is additive, so old files stay readable.
+#: p50 ≤ p90 ≤ p99 ≤ p999) and optional ``origin``/``run_id`` meta keys;
+#: /4 adds ``causal`` work-unit lifecycle records and optional per-shard
+#: fields on ``live_state``.  Every rev is additive, so old files stay
+#: readable.
 ACCEPTED_SCHEMAS = frozenset(
-    {"repro-telemetry/1", "repro-telemetry/2", "repro-telemetry/3"}
+    {
+        "repro-telemetry/1",
+        "repro-telemetry/2",
+        "repro-telemetry/3",
+        "repro-telemetry/4",
+    }
 )
 
 #: The paper's Table 3 component columns, in presentation order.  (Kept
@@ -67,7 +80,7 @@ ACCEPTED_SCHEMAS = frozenset(
 #: the telemetry layer stays importable without the clustering stack.)
 TABLE3_ORDER = ("partitioning", "gst_construction", "sort_nodes", "alignment")
 
-_EVENT_KINDS = frozenset({"span_start", "span_end", "trace"})
+_EVENT_KINDS = frozenset({"span_start", "span_end", "trace", "causal"})
 _TRACE_EVENTS = frozenset({"send", "recv", "compute", "fault"})
 _METRIC_KINDS = frozenset({"counter", "gauge", "histogram"})
 
@@ -122,17 +135,33 @@ def export_jsonl(snapshot: TelemetrySnapshot, path: Path | str | IO[str]) -> int
     return len(records)
 
 
-def load_jsonl(path: Path | str) -> list[dict]:
-    """Parse a JSONL trace back into records (syntax errors raise with
-    the offending line number)."""
+def load_jsonl(path: Path | str, *, tolerant: bool = False) -> list[dict]:
+    """Parse a JSONL trace back into records.
+
+    Syntax errors raise with the offending line number, except in
+    ``tolerant`` mode: a run killed mid-write leaves a truncated final
+    line, so a JSON error on the *last* non-empty line is reported as a
+    warning and skipped (anything earlier is real corruption and still
+    raises).  `pace-est postmortem`/`analyze` load tolerantly — they
+    exist precisely for the runs that died messily.
+    """
+    lines = [
+        (lineno, line.strip())
+        for lineno, line in enumerate(Path(path).read_text().splitlines(), 1)
+        if line.strip()
+    ]
     records: list[dict] = []
-    for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
-        line = line.strip()
-        if not line:
-            continue
+    for idx, (lineno, line) in enumerate(lines):
         try:
             records.append(json.loads(line))
         except json.JSONDecodeError as exc:
+            if tolerant and idx == len(lines) - 1:
+                warnings.warn(
+                    f"{path}:{lineno}: truncated final line skipped "
+                    f"(run killed mid-write?): {exc}",
+                    stacklevel=2,
+                )
+                break
             raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
     return records
 
@@ -216,6 +245,17 @@ def validate_records(records: Iterable[dict]) -> list[str]:
                     problems.append(f"record {i}: interval ends before it starts")
                 if not rec.get("actor"):
                     problems.append(f"record {i}: trace event without actor")
+            elif kind == "causal":
+                if rec.get("event") not in CAUSAL_EVENTS:
+                    problems.append(
+                        f"record {i}: unknown causal event {rec.get('event')!r}"
+                    )
+                if not isinstance(rec.get("unit"), int):
+                    problems.append(f"record {i}: causal record without a unit id")
+                if not isinstance(rec.get("n"), int) or rec.get("n", -1) < 0:
+                    problems.append(f"record {i}: causal record bad pair count")
+                if not rec.get("actor"):
+                    problems.append(f"record {i}: causal record without actor")
             else:
                 if not rec.get("name"):
                     problems.append(f"record {i}: span without a name")
@@ -435,4 +475,10 @@ def summarise(records: list[dict]) -> str:
             lines.append(
                 f"  [{rec['ts']:10.4f}] {rec['actor']}: {rec.get('detail', '')}"
             )
+
+    if any(r.get("kind") == "causal" for r in records):
+        from repro.telemetry.causal import check_conservation
+
+        lines.append("")
+        lines.extend(check_conservation(records).lines())
     return "\n".join(lines)

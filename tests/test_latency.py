@@ -339,11 +339,12 @@ def sim_records(small_benchmark, small_config):
 
 class TestSchemaV3:
     def test_version_and_acceptance(self):
-        assert SCHEMA_VERSION == "repro-telemetry/3"
+        assert SCHEMA_VERSION == "repro-telemetry/4"
         assert ACCEPTED_SCHEMAS == {
             "repro-telemetry/1",
             "repro-telemetry/2",
             "repro-telemetry/3",
+            "repro-telemetry/4",
         }
 
     def test_v3_snapshot_validates_and_roundtrips(self, sim_records):
